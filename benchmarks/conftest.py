@@ -1,0 +1,49 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one paper experiment end-to-end, records its
+paper-vs-measured report under ``benchmarks/results/``, and surfaces
+every report in the terminal summary so ``pytest benchmarks/
+--benchmark-only`` output doubles as the reproduction log.
+
+Scale: experiments default to scaled-down task counts (the simulator
+is pure Python); ``PAGODA_FULL=1`` restores paper scale (32K tasks).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_REPORTS = []
+
+
+def record_report(name: str, text: str) -> None:
+    """Persist an experiment report and queue it for the summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _REPORTS.append((name, text))
+
+
+@pytest.fixture
+def report_sink():
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("Pagoda reproduction: paper-vs-measured")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"===== {name} =====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def bench_tasks(default: int) -> int:
+    """Task count for one benchmark cell (env-scalable)."""
+    if os.environ.get("PAGODA_FULL", "") not in ("", "0"):
+        return 32 * 1024
+    override = os.environ.get("PAGODA_BENCH_TASKS", "")
+    return int(override) if override else default

@@ -1,0 +1,38 @@
+"""Ablation benchmarks for Pagoda's individual design choices
+(beyond the paper's own figures; see DESIGN.md §4)."""
+
+from conftest import bench_tasks
+
+from repro.bench import ablations
+
+
+def test_design_choice_ablations(benchmark, report_sink):
+    n = bench_tasks(384)
+    results = benchmark.pedantic(
+        lambda: ablations.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("ablations", ablations.report(results))
+
+    # §4.2.1: the two-transaction strawman is measurably slower
+    assert results["protocol"]["overhead"] > 1.05
+
+    # §4.2: deeper TaskTables never hurt; a 1-row table throttles the
+    # spawner (it must reclaim entries constantly)
+    rows = results["rows"]
+    assert rows[1]["makespan"] >= rows[32]["makespan"]
+    assert rows[1]["copy_backs"] > rows[32]["copy_backs"]
+
+    # Algorithm 2: serial placement latency grows with warp count,
+    # warp-parallel placement stays near-flat
+    psched = results["psched"]
+    for warps, v in psched.items():
+        assert v["serial"] >= v["parallel"]
+    serial_growth = psched[16]["serial"] - psched[4]["serial"]
+    parallel_growth = psched[16]["parallel"] - psched[4]["parallel"]
+    assert serial_growth > parallel_growth
+
+    # §4.2.2: a longer timeout means fewer copy-backs (less D2H
+    # traffic) at the cost of later completion observation
+    cb = results["copyback"]
+    timeouts = sorted(cb)
+    assert cb[timeouts[0]]["copy_backs"] > cb[timeouts[-1]]["copy_backs"]

@@ -1,0 +1,35 @@
+"""Configuration sweeps from the paper's prose (§6.1, §6.2)."""
+
+from conftest import bench_tasks
+
+from repro.bench import config_sweeps
+
+
+def test_gemtc_and_hyperq_config_sweeps(benchmark, report_sink):
+    n = bench_tasks(384)
+    results = benchmark.pedantic(
+        lambda: config_sweeps.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("config_sweeps", config_sweeps.report(results))
+
+    g = results["gemtc_workers"]["sweep"]
+    # §6.2: 32-thread workers cap at 50% occupancy; 64+ reach 100%
+    assert g[32]["occupancy_pct"] == 50.0
+    for threads in (64, 128, 256):
+        assert g[threads]["occupancy_pct"] == 100.0
+    # §6.3: GeMTC performance does not change much with thread count
+    spans = [v["makespan_ms"] for t, v in g.items() if t >= 64]
+    assert max(spans) / min(spans) < 1.5
+
+    f = results["fusion_threads"]["sweep"]
+    # the 256-thread heuristic is within ~2x of the best choice — the
+    # point being that no single choice is far from another (so the
+    # heuristic is defensible) while Pagoda sidesteps the choice
+    best = min(f.values())
+    assert f[256] <= 2.0 * best
+
+    h = results["hyperq_connections"]["sweep"]
+    # a single connection serializes kernels; 32 is much better
+    assert h[1] > 2 * h[32]
+    # diminishing returns: 16 -> 32 buys little for narrow tasks
+    assert h[16] / h[32] < 1.6

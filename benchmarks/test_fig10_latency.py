@@ -1,0 +1,30 @@
+"""Fig. 10 — average task latency: static fusion vs Pagoda.
+
+Paper shapes: fused average latency grows with task count (every task
+"finishes" when the whole fused kernel does); Pagoda's per-task
+latency stays flat at any count.
+"""
+
+from repro.bench import fig10
+
+
+def test_fig10_latency_vs_task_count(benchmark, report_sink):
+    counts = fig10.task_counts()
+    results = benchmark.pedantic(
+        lambda: fig10.run(counts=counts), rounds=1, iterations=1
+    )
+    report_sink("fig10_latency", fig10.report(results))
+
+    checks = fig10.run_and_check(results)
+    count_ratio = counts[-1] / counts[0]
+    for workload, c in checks.items():
+        # fused latency grows roughly with the task count
+        assert c["fused_growth"] > count_ratio / 4, workload
+        # Pagoda latency is flat by comparison (well under the count
+        # ratio, and far below fusion's growth)
+        assert c["pagoda_growth"] < c["fused_growth"] / 2, workload
+        # and at the largest count Pagoda's absolute latency is orders
+        # of magnitude lower
+        big = counts[-1]
+        lat = results["latency"][workload]
+        assert lat["pagoda"][big] < lat["fusion"][big] / 10

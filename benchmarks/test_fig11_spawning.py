@@ -1,0 +1,27 @@
+"""Fig. 11 — continuous spawning / concurrent pipelined processing.
+
+Paper shapes: Pagoda > Pagoda-Batching > GeMTC in all cases; the
+Batching gap isolates concurrent scheduling, the continuous-spawning
+gap isolates pipelined task processing; MPE benefits most from
+continuous spawning (unbalanced mix).
+"""
+
+from conftest import bench_tasks
+
+from repro.bench import fig11
+
+
+def test_fig11_spawning_ablation(benchmark, report_sink):
+    n = bench_tasks(384)
+    results = benchmark.pedantic(
+        lambda: fig11.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("fig11_spawning", fig11.report(results))
+
+    for workload, speeds in results["speedups"].items():
+        # Pagoda outperforms GeMTC in all cases (paper's Fig. 11 text)
+        assert speeds["pagoda"] > 1.0, workload
+        # continuous spawning never loses to batching
+        assert speeds["pagoda"] >= 0.95 * speeds["pagoda-batching"], workload
+        # concurrent scheduling alone already helps vs GeMTC
+        assert speeds["pagoda-batching"] > 0.8, workload

@@ -1,0 +1,33 @@
+"""Fig. 5 — overall performance: PThreads vs HyperQ vs GeMTC vs Pagoda.
+
+Paper headline: Pagoda geomean 5.70x over 20-core PThreads, 1.51x over
+CUDA-HyperQ, 1.69x over GeMTC.
+"""
+
+from conftest import bench_tasks
+
+from repro.bench import fig5
+
+
+def test_fig5_overall_performance(benchmark, report_sink):
+    n = bench_tasks(384)
+    results = benchmark.pedantic(
+        lambda: fig5.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("fig5_overall", fig5.report(results))
+
+    geomeans = results["geomeans"]
+    # Shape assertions: Pagoda wins every comparison, by factors in the
+    # paper's neighbourhood.
+    assert geomeans["pthreads"] > 3.0
+    assert 1.2 < geomeans["hyperq"] < 2.5
+    assert 1.2 < geomeans["gemtc"] < 3.0
+    # PThreads is by far the weakest contender, as in the paper.
+    assert geomeans["pthreads"] > geomeans["hyperq"]
+    # Pagoda beats HyperQ on every benchmark except the copy-bound DCT,
+    # where all GPU schemes collapse to the PCIe floor (§6.2).
+    for workload, speeds in results["per_workload"].items():
+        if workload == "dct":
+            assert speeds["pagoda"] >= 0.9 * speeds["hyperq"]
+        else:
+            assert speeds["pagoda"] > speeds["hyperq"]

@@ -1,0 +1,31 @@
+"""Fig. 6 — weak scaling with the number of tasks.
+
+Paper shapes: HyperQ/GeMTC hold their own at low task counts; Pagoda
+pulls ahead beyond ~512 tasks; Pagoda time scales ~linearly in tasks.
+"""
+
+from conftest import bench_tasks
+
+from repro.bench import fig6
+
+
+def test_fig6_weak_scaling(benchmark, report_sink):
+    counts = fig6.task_counts()
+    results = benchmark.pedantic(
+        lambda: fig6.run(counts=counts), rounds=1, iterations=1
+    )
+    report_sink("fig6_weak_scaling", fig6.report(results))
+
+    small, big = counts[0], counts[-1]
+    ahead_at_big = 0
+    for workload, per_rt in results["times"].items():
+        # Pagoda scales ~linearly: time grows within ~2x of the task
+        # ratio (sub-linear growth allowed; super-linear is a failure)
+        growth = per_rt["pagoda"][big] / per_rt["pagoda"][small]
+        assert growth < 2.0 * (big / small)
+        if per_rt["pagoda"][big] < per_rt["hyperq"][big]:
+            ahead_at_big += 1
+        # at the largest count Pagoda also beats GeMTC
+        assert per_rt["pagoda"][big] < per_rt["gemtc"][big]
+    # beyond the crossover Pagoda leads HyperQ on at least 4/5 benchmarks
+    assert ahead_at_big >= len(results["times"]) - 1

@@ -1,0 +1,34 @@
+"""Fig. 8 — input size x thread count sweep (MM, CONV) vs HyperQ.
+
+Paper shapes: Pagoda wins at small thread counts for every input size;
+the benefit diminishes past ~512 threads per task; warp-level
+scheduling can make Pagoda win again at the largest shapes.
+"""
+
+from repro.bench import fig8
+
+
+def test_fig8_input_size_thread_sweep(benchmark, report_sink):
+    results = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    report_sink("fig8_input_sweep", fig8.report(results))
+
+    threads = results["threads"]
+    small_t = threads[0]
+    mid_t = threads[len(threads) // 2]
+    sizes = results["sizes"]
+    for workload, per_size in results["speedups"].items():
+        # small thread counts: Pagoda ahead for most input sizes
+        small_wins = sum(
+            per_size[size][small_t] > 0.95 for size in sizes
+        )
+        assert small_wins >= len(sizes) - 1, workload
+        # the advantage diminishes toward the middle of the sweep
+        # (HyperQ fills the GPU itself once tasks stop being narrow)
+        mid_size = sizes[len(sizes) // 2]
+        assert per_size[mid_size][mid_t] < max(
+            per_size[mid_size][t] for t in threads[:2]
+        ) + 0.3
+    # warp-level vs threadblock-level scheduling: at the largest shape
+    # CONV swings back above 1 (the paper's CONV 256^2/64K observation)
+    conv = results["speedups"]["conv"]
+    assert conv[sizes[-1]][threads[-1]] > 1.0

@@ -1,0 +1,33 @@
+"""Open-loop latency under load (the §1 real-time motivation;
+extension experiment, see DESIGN.md §4)."""
+
+from conftest import bench_tasks
+
+from repro.bench import latency_under_load as lul
+
+
+def test_pagoda_sustains_higher_task_rates(benchmark, report_sink):
+    n = bench_tasks(384)
+    results = benchmark.pedantic(
+        lambda: lul.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("latency_under_load", lul.report(results))
+
+    table = results["results"]
+    gaps = results["gaps_ns"]
+    # at the lightest load everyone meets the deadline
+    lightest = gaps[0]
+    for rt in table:
+        assert table[rt][lightest]["deadline_met_pct"] > 95.0, rt
+    # there is a rate Pagoda sustains (>95% deadlines) where HyperQ
+    # has already collapsed (<50%)
+    crossover = any(
+        table["pagoda"][g]["deadline_met_pct"] > 95.0
+        and table["hyperq"][g]["deadline_met_pct"] < 50.0
+        for g in gaps
+    )
+    assert crossover
+    # batching inflates the tail before continuous Pagoda does
+    worst_gap = gaps[-2]
+    assert (table["pagoda-batching"][worst_gap]["p99_us"]
+            > table["pagoda"][worst_gap]["p99_us"])

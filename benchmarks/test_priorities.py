@@ -1,0 +1,21 @@
+"""Priority + deferred-scheduling extension benchmark
+(see DESIGN.md and EXPERIMENTS.md 'Extensions')."""
+
+from conftest import bench_tasks
+
+from repro.bench import priorities
+
+
+def test_priorities_protect_urgent_tail(benchmark, report_sink):
+    n = max(bench_tasks(1200), 1200)
+    results = benchmark.pedantic(
+        lambda: priorities.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("priorities", priorities.report(results))
+
+    fifo = results["fifo-blocking"]
+    prio = results["deferred+priority"]
+    # priorities cut the urgent tail by a large factor...
+    assert prio["urgent_p99_us"] < fifo["urgent_p99_us"] / 2
+    # ...without sacrificing overall throughput
+    assert prio["makespan_ms"] < fifo["makespan_ms"] * 1.15

@@ -1,0 +1,67 @@
+"""Performance of the simulator itself (pytest-benchmark's natural
+use): events/second through the engine and end-to-end tasks/second
+through the full Pagoda stack.
+
+These guard against performance regressions that would make the
+paper-scale (PAGODA_FULL=1) runs impractical.
+"""
+
+from repro.core import PagodaConfig, run_pagoda
+from repro.gpu.phases import Phase
+from repro.sim import Engine, ProcessorSharing
+from repro.tasks import TaskSpec
+
+
+def test_engine_event_throughput(benchmark):
+    """A ping-pong of timers: pure event-loop overhead."""
+    def run_events():
+        eng = Engine()
+
+        def ticker():
+            for _ in range(20_000):
+                yield 1.0
+
+        eng.spawn(ticker())
+        eng.run()
+        return eng.event_count
+
+    events = benchmark(run_events)
+    assert events >= 20_000
+
+
+def test_processor_sharing_churn(benchmark):
+    """Arrival/departure churn on one PS pool (the hot path under
+    every SMM)."""
+    def run_ps():
+        eng = Engine()
+        ps = ProcessorSharing(eng, rate=4.0, per_job_cap=1.0)
+        done = []
+
+        def job(i):
+            yield ps.consume(10.0 + (i % 7))
+            done.append(i)
+
+        for i in range(2_000):
+            eng.spawn(job(i))
+        eng.run()
+        return len(done)
+
+    completed = benchmark(run_ps)
+    assert completed == 2_000
+
+
+def test_pagoda_task_throughput(benchmark):
+    """End-to-end simulated tasks per wall-second through the whole
+    stack (MasterKernel + TaskTable + host)."""
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=2_000, mem_bytes=256)
+
+    tasks = [TaskSpec(f"t{i}", 128, 1, kernel) for i in range(500)]
+
+    def run_stack():
+        stats = run_pagoda(tasks, config=PagodaConfig(
+            copy_inputs=False, copy_outputs=False))
+        return len(stats.results)
+
+    completed = benchmark(run_stack)
+    assert completed == 500

@@ -1,0 +1,27 @@
+"""Table 3 — % time in data copy vs computation under CUDA-HyperQ."""
+
+from conftest import bench_tasks
+
+from repro.bench import tab3
+
+
+def test_tab3_copy_compute_split(benchmark, report_sink):
+    n = bench_tasks(384)
+    results = benchmark.pedantic(
+        lambda: tab3.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("tab3_characteristics", tab3.report(results))
+
+    measured = results["copy_pct"]
+    # every benchmark's copy fraction lands near its Table 3 column
+    for workload, paper_pct in tab3.PAPER_COPY_PCT.items():
+        got = measured[workload]
+        assert abs(got - paper_pct) <= max(10, 0.4 * paper_pct), (
+            workload, got, paper_pct
+        )
+    # the qualitative ordering the paper leans on: DCT and 3DES are
+    # copy-bound, BF and SLUD are compute-bound
+    assert measured["dct"] > 55
+    assert measured["3des"] > 50
+    assert measured["bf"] < 25
+    assert measured["slud"] < 10

@@ -1,0 +1,32 @@
+"""Table 5 — Pagoda software shared-memory management (DCT, MM)."""
+
+from conftest import bench_tasks
+
+from repro.bench import tab5
+
+
+def test_tab5_shared_memory_analysis(benchmark, report_sink):
+    n = bench_tasks(256)
+    results = benchmark.pedantic(
+        lambda: tab5.run(num_tasks=n), rounds=1, iterations=1
+    )
+    report_sink("tab5_shared_memory", tab5.report(results))
+
+    measured = results["measured"]
+    for workload in ("dct", "mm"):
+        # shared memory offers considerable benefits (Table 5's
+        # conclusion): the staged kernel runs measurably faster per
+        # task than its DRAM-round-trip counterpart...
+        with_sm = measured[(workload, True)]["kernel_us"]
+        without = measured[(workload, False)]["kernel_us"]
+        assert with_sm < without, workload
+        # ...and Pagoda still beats HyperQ end-to-end in both variants
+        assert measured[(workload, True)]["speedup"] > 1.0, workload
+        assert measured[(workload, False)]["speedup"] > 1.0, workload
+
+    # occupancy: DCT's 8KB blocks limit the MTB arena to 25%; the other
+    # three configurations reach the executor-warp ceiling (97%)
+    assert round(measured[("dct", True)]["occupancy"]) == 25
+    assert round(measured[("dct", False)]["occupancy"]) == 97
+    assert round(measured[("mm", True)]["occupancy"]) == 97
+    assert round(measured[("mm", False)]["occupancy"]) == 97

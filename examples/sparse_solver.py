@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Sparse LU factorization with dynamically discovered tasks (SLUD).
+
+The paper's irregular-workload showcase (§6.2): the multifrontal-style
+blocked solver spawns lu/trsm/gemm tile tasks as factorization
+proceeds, and *fill-in* means the task count is unknown up front —
+which is exactly why GeMTC (batch counts fixed ahead of time) cannot
+run SLUD while Pagoda streams the waves straight onto the GPU.
+
+The functional run really factorizes the matrix on the simulated
+runtime; L @ U is verified against the original.
+
+Run:  python examples/sparse_solver.py
+"""
+
+import numpy as np
+
+from repro.core import PagodaConfig, run_pagoda
+from repro.workloads.sparse_lu import (
+    SparseLuProblem,
+    TILE,
+    generate_waves,
+    reference_lu_check,
+)
+
+
+def main():
+    nb = 5
+    problem = SparseLuProblem.generate(nb=nb, density=0.35, seed=3,
+                                       functional=True)
+    initial_tiles = len(problem.tiles)
+    original = problem.dense()
+    print(f"matrix: {nb}x{nb} tiles of {TILE}x{TILE} "
+          f"({nb * TILE}x{nb * TILE} elements), "
+          f"{initial_tiles} non-zero tiles\n")
+
+    waves = generate_waves(problem, threads=64, functional=True)
+    total_tasks = sum(len(w) for w in waves)
+    fill_in = len(problem.tiles) - initial_tiles
+    print(f"factorization DAG: {len(waves)} dependency waves, "
+          f"{total_tasks} tile tasks "
+          f"({fill_in} fill-in tiles discovered en route)")
+
+    sim_time = 0.0
+    for i, wave in enumerate(waves):
+        stats = run_pagoda(wave, config=PagodaConfig(functional=True))
+        sim_time += stats.makespan
+        kinds = {}
+        for task in wave:
+            kind = task.name.split("-")[1].rstrip("0123456789")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        desc = ", ".join(f"{v} {k}" for k, v in sorted(kinds.items()))
+        print(f"  wave {i:2d}: {desc:<24s} "
+              f"({stats.makespan / 1e3:7.1f} us simulated)")
+
+    reference_lu_check(problem, original)
+    print(f"\nL @ U == A verified "
+          f"(||A|| = {np.abs(original).max():.1f}); "
+          f"total simulated time {sim_time / 1e6:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Re-derive each workload's instruction-cost constant (DESIGN.md §4).
+
+The per-workload knobs in ``repro/workloads/*.py`` were solved so the
+CUDA-HyperQ *copy fraction* matches Table 3's published "% time spent
+in data copy" column.  This script re-runs that fixed-point search —
+use it after changing structural timing constants, then paste the
+calibrated values back into the workload modules and re-run the
+benchmark suite.
+
+Usage:  python scripts/calibrate.py [--tasks 512] [--workloads mb,fb]
+"""
+
+import argparse
+import sys
+
+import repro.workloads.beamformer as bf
+import repro.workloads.convolution as conv
+import repro.workloads.dct as dct
+import repro.workloads.des3 as des3
+import repro.workloads.filterbank as fb
+import repro.workloads.mandelbrot as mb
+import repro.workloads.matmul as mm
+from repro.bench.harness import copy_fraction, run_benchmark
+from repro.bench.tab3 import PAPER_COPY_PCT
+
+#: workload -> (module, constant attribute) — the single knob each
+KNOBS = {
+    "mb": (mb, "INST_PER_ITER"),
+    "fb": (fb, "INST_PER_TAP"),
+    "bf": (bf, "INST_PER_CHANNEL"),
+    "conv": (conv, "INST_PER_TAP"),
+    "dct": (dct, "INST_PER_PASS"),
+    "mm": (mm, "INST_PER_MAC"),
+    "3des": (des3, "INST_PER_ROUND"),
+}
+
+
+def calibrate_one(name: str, num_tasks: int, tolerance: float = 0.05,
+                  max_iters: int = 8) -> dict:
+    """Fixed-point search on one workload's instruction constant.
+
+    The copy fraction behaves like C/(C + K*value); each step solves
+    that model for the value that would land on target, damped to keep
+    the iteration stable against the launch-overhead floor.
+    """
+    module, attr = KNOBS[name]
+    target = PAPER_COPY_PCT[name] / 100.0
+    original = value = getattr(module, attr)
+    measured = None
+    for _ in range(max_iters):
+        setattr(module, attr, value)
+        stats = run_benchmark(name, "hyperq", num_tasks=num_tasks,
+                              threads=128)
+        measured = copy_fraction(stats)
+        if abs(measured - target) / target < tolerance:
+            break
+        clipped = min(measured, 0.995)
+        ratio = (clipped / (1 - clipped)) * ((1 - target) / target)
+        value = max(value * ratio ** 0.9, 0.05)
+    setattr(module, attr, original)  # leave the library untouched
+    return {
+        "workload": name,
+        "constant": attr,
+        "shipped": original,
+        "calibrated": value,
+        "copy_pct": 100 * measured,
+        "target_pct": 100 * target,
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, default=512)
+    parser.add_argument("--workloads", default=",".join(KNOBS),
+                        help="comma-separated subset")
+    args = parser.parse_args(argv)
+    names = [n for n in args.workloads.split(",") if n]
+    unknown = set(names) - set(KNOBS)
+    if unknown:
+        parser.error(f"unknown workloads: {sorted(unknown)}")
+    print(f"{'workload':6s} {'constant':18s} {'shipped':>9s} "
+          f"{'calibrated':>11s} {'copy%':>6s} {'target%':>8s}")
+    for name in names:
+        row = calibrate_one(name, args.tasks)
+        drift = abs(row["calibrated"] - row["shipped"]) / row["shipped"]
+        flag = "  <-- drifted" if drift > 0.15 else ""
+        print(f"{row['workload']:6s} {row['constant']:18s} "
+              f"{row['shipped']:9.3f} {row['calibrated']:11.3f} "
+              f"{row['copy_pct']:6.1f} {row['target_pct']:8.1f}{flag}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

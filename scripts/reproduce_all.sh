@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# End-to-end reproduction driver.
+#
+#   scripts/reproduce_all.sh            # scaled (CI-speed) pass
+#   PAGODA_FULL=1 scripts/reproduce_all.sh   # paper-scale (hours)
+#
+# Produces test_output.txt, bench_output.txt, and per-artefact reports
+# under benchmarks/results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== unit / property / integration tests"
+python -m pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== every table & figure of the paper's evaluation"
+python -m pytest benchmarks/ --benchmark-only 2>&1 \
+    | tee bench_output.txt | tail -5
+
+echo "== examples"
+for example in examples/*.py; do
+    echo "-- $example"
+    python "$example" > /dev/null
+done
+
+echo "== calibration drift check (constants should still match Table 3)"
+python scripts/calibrate.py --tasks 256
+
+echo "done; see benchmarks/results/ and EXPERIMENTS.md"

@@ -1,0 +1,19 @@
+"""Pagoda (PPoPP 2017) reproduction.
+
+Top-level convenience exports; see the subpackages for the full
+surface:
+
+- :mod:`repro.core` — Pagoda itself (MasterKernel, TaskTable, host API)
+- :mod:`repro.baselines` — CUDA-HyperQ, GeMTC, static fusion
+- :mod:`repro.cpu` — PThreads / sequential CPU baselines
+- :mod:`repro.workloads` — the nine §6 benchmarks
+- :mod:`repro.bench` — one experiment module per paper table/figure
+- :mod:`repro.sim`, :mod:`repro.gpu`, :mod:`repro.pcie`,
+  :mod:`repro.cuda` — the simulated hardware/software substrate
+"""
+
+from repro.tasks import RunStats, TaskResult, TaskSpec
+
+__version__ = "1.0.0"
+
+__all__ = ["TaskSpec", "TaskResult", "RunStats", "__version__"]

@@ -1,0 +1,93 @@
+"""Post-run analysis of RunStats and live sessions.
+
+Everything a downstream user asks right after a run: the latency
+distribution, where time went, how evenly the MTBs were loaded, and a
+side-by-side of several runtimes.  All text/arrays — no plotting
+dependency (feed `latency_cdf` to your plotter of choice).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.harness import copy_fraction
+from repro.bench.reporting import format_table
+from repro.tasks import RunStats
+
+
+def latency_cdf(stats: RunStats, points: int = 100
+                ) -> List[Tuple[float, float]]:
+    """(latency_ns, fraction ≤ latency) pairs, ``points`` quantiles."""
+    if not stats.results:
+        raise ValueError("no results")
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    lats = np.sort([r.latency for r in stats.results])
+    fracs = np.linspace(0.0, 1.0, points)
+    idx = np.minimum((fracs * (len(lats) - 1)).round().astype(int),
+                     len(lats) - 1)
+    return [(float(lats[i]), float(f)) for i, f in zip(idx, fracs)]
+
+
+def summarize(stats: RunStats) -> str:
+    """One human-readable block per run."""
+    lines = [
+        f"runtime:        {stats.runtime}",
+        f"tasks:          {len(stats.results)}",
+        f"makespan:       {stats.makespan / 1e6:.3f} ms",
+    ]
+    if stats.results:
+        lines += [
+            f"throughput:     {stats.throughput_tasks_per_ms():.1f} tasks/ms",
+            f"latency p50:    {stats.latency_percentile(50) / 1e3:.1f} us",
+            f"latency p99:    {stats.latency_percentile(99) / 1e3:.1f} us",
+        ]
+    lines += [
+        f"copy fraction:  {100 * copy_fraction(stats):.1f} %",
+        f"occupancy:      {100 * stats.mean_occupancy:.1f} %",
+    ]
+    return "\n".join(lines)
+
+
+def mtb_load_balance(session) -> Dict[str, float]:
+    """How evenly the 48 MTBs shared the work (live/finished session).
+
+    Returns per-MTB executed-task statistics; a coefficient of
+    variation near 0 means the column-interleaved free-entry queue did
+    its load-balancing job (§4.2).
+    """
+    counts = np.array([m.tasks_executed for m in session.master.mtbs],
+                      dtype=float)
+    if counts.sum() == 0:
+        raise ValueError("no tasks executed yet")
+    return {
+        "mtbs": int(len(counts)),
+        "total": int(counts.sum()),
+        "min": float(counts.min()),
+        "max": float(counts.max()),
+        "mean": float(counts.mean()),
+        "cv": float(counts.std() / counts.mean()),
+    }
+
+
+def compare(runs: Sequence[RunStats], baseline: int = 0) -> str:
+    """Side-by-side table of several runs of the same task set."""
+    if not runs:
+        raise ValueError("nothing to compare")
+    base = runs[baseline]
+    rows = []
+    for stats in runs:
+        rows.append([
+            stats.runtime,
+            round(stats.makespan / 1e6, 3),
+            round(base.makespan / stats.makespan, 2),
+            round(stats.mean_latency / 1e3, 1),
+            round(100 * copy_fraction(stats), 1),
+        ])
+    return format_table(
+        ["runtime", "makespan_ms", f"speedup_vs_{base.runtime}",
+         "mean_latency_us", "copy_%"],
+        rows, title="RUN COMPARISON",
+    )

@@ -1,0 +1,25 @@
+"""Every baseline the paper evaluates against (§6).
+
+- :func:`~repro.baselines.hyperq.run_hyperq` — per-task CUDA kernels on
+  32 streams (CUDA-HyperQ, §6.2).
+- :func:`~repro.baselines.gemtc.run_gemtc` — the GeMTC SuperKernel:
+  batch-launched tasks, one task per worker threadblock, a single FIFO
+  queue, no shared memory (§1, §6.2, §7).
+- :func:`~repro.baselines.fusion.run_static_fusion` — all tasks fused
+  into one monolithic kernel, uniform per-task resources (§6.3).
+- CPU baselines (PThreads / sequential) live in :mod:`repro.cpu`.
+- The Pagoda-Batching ablation is ``run_pagoda(config=PagodaConfig(
+  batch_size=...))`` (§6.6).
+"""
+
+from repro.baselines.fusion import run_static_fusion
+from repro.baselines.gemtc import GemtcConfig, run_gemtc
+from repro.baselines.hyperq import HyperQConfig, run_hyperq
+
+__all__ = [
+    "run_hyperq",
+    "HyperQConfig",
+    "run_gemtc",
+    "GemtcConfig",
+    "run_static_fusion",
+]

@@ -1,0 +1,88 @@
+"""Command-line experiment runner.
+
+Run any paper artefact directly::
+
+    python -m repro.bench fig5
+    python -m repro.bench tab3 --tasks 1024
+    python -m repro.bench all --tasks 256
+
+Reports print to stdout in the same paper-vs-measured format the
+benchmark suite records under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    ablations,
+    config_sweeps,
+    fig5,
+    latency_under_load,
+    priorities,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    tab3,
+    tab5,
+)
+
+EXPERIMENTS = {
+    "fig5": fig5, "fig6": fig6, "fig7": fig7, "fig8": fig8,
+    "fig9": fig9, "fig10": fig10, "fig11": fig11,
+    "tab3": tab3, "tab5": tab5, "ablations": ablations,
+    "load": latency_under_load,
+    "priorities": priorities,
+    "sweeps": config_sweeps,
+}
+
+#: experiments whose run() takes a num_tasks argument
+TASK_SIZED = {"fig5", "fig7", "fig9", "fig11", "tab3", "tab5",
+              "ablations", "load", "priorities", "sweeps"}
+
+
+def run_one(name: str, num_tasks: int | None) -> str:
+    """Run one named experiment and return its report text."""
+    module = EXPERIMENTS[name]
+    start = time.time()
+    if name in TASK_SIZED and num_tasks is not None:
+        results = module.run(num_tasks=num_tasks)
+    else:
+        results = module.run()
+    report = module.report(results)
+    wall = time.time() - start
+    return f"{report}\n[{name}: {wall:.1f}s wall]"
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce one of the paper's tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artefact to reproduce",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=None,
+        help="override the task count (where applicable)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        print(run_one(name, args.tasks))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

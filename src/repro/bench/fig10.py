@@ -1,0 +1,80 @@
+"""Fig. 10 — Average per-task latency: static fusion vs Pagoda.
+
+Paper setup: 3DES (irregular) and MM (regular) at task counts 128 ->
+32K; the fused kernel's tasks all "finish" when the kernel does, so
+fused average latency grows with the task count, while **Pagoda's
+average latency stays flat** at any count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.harness import full_scale, make_tasks, run_tasks
+from repro.bench.reporting import format_table
+
+WORKLOADS = ["3des", "mm"]
+THREADS_PER_TASK = 128
+
+
+def task_counts() -> List[int]:
+    """Task-count sweep for this experiment (env-scaled)."""
+    if full_scale():
+        return [128, 512, 2048, 8192, 32768]
+    return [128, 512, 2048]
+
+
+def run(counts: Optional[List[int]] = None, seed: int = 0) -> Dict:
+    """Execute the experiment; returns its structured results."""
+    counts = counts or task_counts()
+    latency: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for workload in WORKLOADS:
+        latency[workload] = {"fusion": {}, "pagoda": {}}
+        for n in counts:
+            tasks = make_tasks(workload, n, THREADS_PER_TASK, seed)
+            for runtime in ("fusion", "pagoda"):
+                stats = run_tasks(tasks, runtime)
+                latency[workload][runtime][n] = stats.mean_latency
+    return {"counts": counts, "latency": latency}
+
+
+def flatness(series: Dict[int, float]) -> float:
+    """max/min of the latency-vs-count curve (1.0 == perfectly flat)."""
+    values = list(series.values())
+    return max(values) / min(values)
+
+
+def run_and_check(results: Dict) -> Dict[str, Dict[str, float]]:
+    """Shape metrics: fused latency growth vs Pagoda flatness."""
+    out = {}
+    for workload, per_rt in results["latency"].items():
+        out[workload] = {
+            "fused_growth": flatness(per_rt["fusion"]),
+            "pagoda_growth": flatness(per_rt["pagoda"]),
+        }
+    return out
+
+
+def report(results: Dict) -> str:
+    """Render the experiment's paper-vs-measured text report."""
+    counts = results["counts"]
+    sections = []
+    for workload, per_rt in results["latency"].items():
+        rows = [
+            [rt] + [round(per_rt[rt][n] / 1e3, 1) for n in counts]
+            for rt in ("fusion", "pagoda")
+        ]
+        sections.append(format_table(
+            ["runtime"] + [str(n) for n in counts], rows,
+            title=f"FIG10 [{workload}]: average task latency (us)",
+        ))
+    checks = run_and_check(results)
+    lines = ["\nFIG10 shape check (paper: fused latency grows ~linearly "
+             "with task count; Pagoda latency stays flat):"]
+    for workload, c in checks.items():
+        lines.append(
+            f"  {workload}: fused max/min = {c['fused_growth']:.1f}x, "
+            f"pagoda max/min = {c['pagoda_growth']:.1f}x"
+        )
+    sections.append("\n".join(lines))
+    return "\n\n".join(sections)

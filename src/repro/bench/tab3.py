@@ -1,0 +1,47 @@
+"""Table 3 — Benchmark characteristics under CUDA-HyperQ.
+
+Measures the "% time spent in data copy / computation" split for every
+benchmark under HyperQ (profiler-style accounting, see
+:func:`repro.bench.harness.copy_fraction`) and compares with the
+paper's Table 3 columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bench.harness import copy_fraction, default_num_tasks, \
+    make_tasks, run_tasks
+from repro.bench.reporting import paper_vs_measured
+
+THREADS_PER_TASK = 128
+
+#: paper's Table 3 "% time spent in data copy (CUDA-HyperQ)"
+PAPER_COPY_PCT = {
+    "mb": 24, "fb": 35, "bf": 13, "conv": 30, "dct": 81, "mm": 51,
+    "slud": 3, "3des": 74,
+}
+
+
+def run(num_tasks: Optional[int] = None, seed: int = 0) -> Dict:
+    """Execute the experiment; returns its structured results."""
+    measured: Dict[str, float] = {}
+    for workload in PAPER_COPY_PCT:
+        n = num_tasks if num_tasks is not None else default_num_tasks(workload)
+        stats = run_tasks(make_tasks(workload, n, THREADS_PER_TASK, seed),
+                          "hyperq")
+        measured[workload] = 100.0 * copy_fraction(stats)
+    return {"copy_pct": measured}
+
+
+def report(results: Dict) -> str:
+    """Render the experiment's paper-vs-measured text report."""
+    rows = [
+        {"benchmark": w, "paper": PAPER_COPY_PCT[w],
+         "measured": round(pct, 1)}
+        for w, pct in results["copy_pct"].items()
+    ]
+    return paper_vs_measured(
+        "TAB3: % time in data copy under CUDA-HyperQ",
+        rows, keys=["benchmark"],
+    )

@@ -1,0 +1,98 @@
+"""Table 1's Pagoda Programming API, under the paper's exact names.
+
+The reproduction's native interface is Pythonic
+(:class:`~repro.core.host_api.PagodaHost`,
+:class:`~repro.device_api.BlockContext`); this façade exposes the
+paper's camelCase functions so code can be ported one-to-one from the
+paper's listings:
+
+==================  ======  ==========================================
+Pagoda function     caller  here
+==================  ======  ==========================================
+``taskSpawn``       CPU     :meth:`PagodaApi.taskSpawn`
+``wait``            CPU     :meth:`PagodaApi.wait`
+``check``           CPU     :meth:`PagodaApi.check`
+``waitAll``         CPU     :meth:`PagodaApi.waitAll`
+``getTid``          GPU     :func:`getTid`
+``syncBlock``       GPU     :func:`syncBlock`
+``getSMPtr``        GPU     :func:`getSMPtr`
+==================  ======  ==========================================
+
+CPU-side functions are generator subroutines (call with ``yield
+from`` inside a host process) since the host runs on the simulated
+clock.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.runtime import PagodaSession
+from repro.device_api import BlockContext
+from repro.tasks import TaskResult, TaskSpec
+
+
+class PagodaApi:
+    """CPU-side Table 1 functions bound to one session."""
+
+    def __init__(self, session: PagodaSession) -> None:
+        self.session = session
+        self._results = {}
+
+    def taskSpawn(self, numThreads: int, numThreadblocks: int,
+                  sharedMemory: int, syncFlag: bool, kernel,
+                  kernelArgs=None, func=None) -> Generator:
+        """Spawn a task from the CPU onto Pagoda; returns the taskId.
+
+        Signature follows Table 1's argument list: #threads,
+        #threadblocks, shared memory, sync flag, kernel pointer,
+        kernel args.
+        """
+        spec = TaskSpec(
+            name=getattr(kernel, "__name__", "task"),
+            threads_per_block=numThreads,
+            num_blocks=numThreadblocks,
+            kernel=kernel,
+            shared_mem_bytes=sharedMemory,
+            needs_sync=syncFlag,
+            work=kernelArgs,
+            func=func,
+        )
+        result = TaskResult(0, spec.name)
+        task_id = yield from self.session.host.task_spawn(spec, result)
+        self._results[task_id] = result
+        return task_id
+
+    def wait(self, taskId: int) -> Generator:
+        """Wait until the specified task is over."""
+        yield from self.session.host.wait(taskId)
+
+    def check(self, taskId: int) -> bool:
+        """True if the task is done, else False."""
+        return self.session.host.check(taskId)
+
+    def waitAll(self) -> Generator:
+        """Wait until all tasks in Pagoda are over."""
+        yield from self.session.host.wait_all()
+
+    def result(self, taskId: int) -> Optional[TaskResult]:
+        """Timestamps of a spawned task (reproduction convenience)."""
+        return self._results.get(taskId)
+
+
+# -- GPU-side functions (Table 1's device API) ---------------------------
+
+def getTid(ctx: BlockContext):
+    """Get the thread Id of this thread (vector over the block)."""
+    return ctx.tid()
+
+
+def syncBlock(ctx: BlockContext) -> None:
+    """Synchronize all threads in the block."""
+    ctx.sync_block()
+
+
+def getSMPtr(ctx: BlockContext):
+    """Get the shared mem pointer for the threadblock (32-byte
+    aligned)."""
+    return ctx.get_sm_ptr()

@@ -1,0 +1,152 @@
+"""Pagoda's CPU-side API (Table 1): taskSpawn, wait, check, waitAll.
+
+The host owns the CPU TaskTable mirror.  A spawn finds a free entry,
+fills it, and fires one asynchronous H2D transaction; the ready field
+carries the pipelining pointer (the previous spawn's taskID), so in
+steady state each task costs exactly one cudamemcopy (§4.2.1).
+
+Completions flow back only through lazy aggregate copy-backs (§4.2.2):
+``wait``/``waitAll`` poll with a timeout and then *force* a copy-back;
+when the spawner runs out of free entries it reclaims the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.tasktable import READY_COPIED, READY_SCHEDULING, TaskTable
+from repro.gpu.timing import TimingModel
+from repro.pcie.bus import Direction
+from repro.sim import Engine
+from repro.tasks import TaskResult, TaskSpec
+
+
+#: spawn-protocol variants (§4.2.1): the pipelined taskID protocol is
+#: Pagoda's; the other two exist as ablations/demonstrations.
+PROTOCOLS = ("pipelined", "two-copies", "unsafe-single")
+
+
+class PagodaHost:
+    """Host-side runtime state for one Pagoda session."""
+
+    def __init__(self, engine: Engine, table: TaskTable,
+                 timing: TimingModel, protocol: str = "pipelined") -> None:
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown spawn protocol {protocol!r}; have {PROTOCOLS}"
+            )
+        self.engine = engine
+        self.table = table
+        self.timing = timing
+        self.protocol = protocol
+        #: taskID of the most recent spawn not yet promoted by a
+        #: successor or by idle finalization (pipelined protocol only).
+        self._prev_unpromoted: Optional[int] = None
+        self.spawn_count = 0
+
+    # -- taskSpawn -------------------------------------------------------------
+
+    def task_spawn(self, spec: TaskSpec,
+                   result: Optional[TaskResult] = None) -> Generator:
+        """Non-blocking spawn; subroutine returns the taskID.
+
+        Blocks only while *no TaskTable entry is free*, in which case it
+        reclaims entries via copy-back exactly as the paper's spawner
+        does.
+        """
+        yield self.timing.spawn_cpu_ns
+        while True:
+            loc = self.table.take_free_entry()
+            if loc is not None:
+                break
+            yield from self._reclaim_entries()
+        col, row = loc
+        if result is None:
+            result = TaskResult(0, spec.name)
+        if not result.spawn_time:
+            result.spawn_time = self.engine.now
+        prev = (
+            self._prev_unpromoted if self.protocol == "pipelined" else None
+        )
+        task_id = self.table.fill_cpu_entry(col, row, spec, result, prev)
+        result.task_id = task_id
+        self.spawn_count += 1
+        # The posting store costs host time per transaction; delivery
+        # (visibility latency) proceeds asynchronously and PCIe posted
+        # writes keep spawn order.
+        if self.protocol == "pipelined":
+            self._prev_unpromoted = task_id
+            yield self.table.post_cost(spec.param_bytes, transactions=1)
+            copy = self.table.copy_entry_to_gpu(col, row)
+        elif self.protocol == "two-copies":
+            yield self.table.post_cost(spec.param_bytes, transactions=2)
+            copy = self.table.copy_entry_two_transactions(col, row)
+        else:  # unsafe-single: the §4.2.1 hazard demonstration
+            yield self.table.post_cost(spec.param_bytes, transactions=1)
+            copy = self.table.copy_entry_unsafe_single(col, row)
+        self.engine.spawn(copy, f"spawncopy.{task_id}")
+        return task_id
+
+    def _reclaim_entries(self) -> Generator:
+        """All CPU-side ready fields are non-zero: finalize the pipeline
+        tail, then pull completions back until an entry frees up."""
+        yield from self.finalize_last()
+        yield from self.table.copy_back()
+        if self.table.free_queue_len == 0:
+            yield self.timing.host_retry_ns
+
+    # -- pipeline tail finalization ---------------------------------------------
+
+    def finalize_last(self) -> Generator:
+        """§4.2.2: with no new spawns arriving, the spawner promotes the
+        last task itself — copy back its state and, if it is (-1, 0),
+        set it to (1, 1) and push that to the GPU."""
+        if self.protocol != "pipelined" or self._prev_unpromoted is None:
+            return
+        task_id = self._prev_unpromoted
+        col, row = self.table.id_map[task_id]
+        # copy back just this entry's state
+        yield from self.table.bus.transfer(8, Direction.D2H)
+        gpu = self.table.gpu[col][row]
+        if gpu.task_id != task_id or gpu.ready > READY_SCHEDULING:
+            # parameters still crossing the bus, or the GPU scheduler
+            # has not resolved the entry's own pipelining pointer yet —
+            # keep the pointer and retry on the next idle observation.
+            return
+        if gpu.protocol_state() == (READY_COPIED, 0):
+            cpu = self.table.cpu[col][row]
+            cpu.ready = READY_SCHEDULING
+            cpu.sched = 1
+            if self._prev_unpromoted == task_id:
+                self._prev_unpromoted = None
+            yield from self.table.push_state_to_gpu(col, row)
+        else:
+            # already promoted (a successor arrived meanwhile) or done
+            if self._prev_unpromoted == task_id:
+                self._prev_unpromoted = None
+
+    # -- wait / check / waitAll ----------------------------------------------
+
+    def check(self, task_id: int) -> bool:
+        """Table 1's check(): true once the host has *observed* the task
+        finish (which requires a copy-back to have happened)."""
+        return task_id in self.table.finished
+
+    def wait(self, task_id: int) -> Generator:
+        """Block until the given task is observed complete.
+
+        Raises ``KeyError`` for a taskID that was never issued (waiting
+        on it would otherwise spin forever)."""
+        if task_id not in self.table.id_map:
+            raise KeyError(f"unknown taskID {task_id}")
+        while not self.check(task_id):
+            yield from self.finalize_last()
+            yield self.timing.wait_timeout_ns
+            yield from self.table.copy_back()
+
+    def wait_all(self) -> Generator:
+        """Block until every spawned task is observed complete."""
+        while len(self.table.finished) < self.spawn_count:
+            yield from self.finalize_last()
+            yield self.timing.wait_timeout_ns
+            yield from self.table.copy_back()

@@ -1,0 +1,432 @@
+"""The MasterKernel: Pagoda's resource-virtualizing daemon (§4.1).
+
+The MasterKernel launches once and runs forever, acquiring **all**
+GPU resources: on the Titan X it places two 32-warp threadblocks
+(MTBs) on each of the 24 SMMs — 48 MTBs, each with a statically
+reserved 32 KB shared-memory arena and registers capped at 32 per
+thread, which is exactly 100 % occupancy (asserted in the tests).
+
+Inside each MTB, warp 0 is the *scheduler warp* running Algorithm 1
+over its TaskTable column, and warps 1–31 are *executor warps* that
+sleep until their WarpTable slot's exec flag is set.  The scheduler's
+per-warp placement function is Algorithm 2's ``pSched``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.core.buddy import BuddyAllocator
+from repro.core.named_barriers import NamedBarrierPool
+from repro.core.tasktable import (
+    READY_COPIED,
+    READY_SCHEDULING,
+    TaskEntry,
+    TaskTable,
+)
+from repro.core.warptable import WarpTable
+from repro.device_api import BlockContext
+from repro.gpu.device import Gpu
+from repro.gpu.phases import BlockSync, Phase
+from repro.gpu.smm import Smm
+from repro.sim import Engine, TimeWeighted
+from repro.tasks import TaskSpec
+
+#: Shared memory each MTB statically reserves for task use on the
+#: Titan X (§4.1: two 32 KB arenas, the remaining 32 KB of the SMM's
+#: 96 KB holds the scheduling data structures).
+MTB_ARENA_BYTES = 32 * 1024
+#: Warps per MTB (one 1024-thread threadblock).
+MTB_WARPS = 32
+#: MTBs per SMM (2 x 32 warps fill the 64 warp slots).
+MTBS_PER_SMM = 2
+#: Register budget: 32 regs/thread via -maxrregcount (§4.1); at the
+#: 256-register warp allocation unit this is 1024 regs/warp.
+MTB_REGISTERS = MTB_WARPS * 32 * 32
+
+
+def mtb_arena_bytes(spec) -> int:
+    """Per-MTB task arena for an arbitrary GPU: the largest power of
+    two that still leaves roughly a third of the SMM's shared memory
+    for the WarpTable and scheduling counters.
+
+    Titan X (96 KB): 32 KB per MTB, the paper's layout.  Tesla K40
+    (48 KB): 16 KB per MTB.
+    """
+    budget = spec.shared_mem_per_smm * 2 // 3 // MTBS_PER_SMM
+    arena = 512  # buddy granule
+    while arena * 2 <= budget:
+        arena *= 2
+    return arena
+
+
+@dataclass
+class ExecState:
+    """Per-task execution bookkeeping attached to a TaskTable entry
+    (the paper's ctr[]/doneCtr[] shared-memory counters)."""
+
+    done_ctr: int
+    block_warps_left: Dict[int, int]
+    block_sm_offset: Dict[int, Optional[int]] = field(default_factory=dict)
+    block_bar_id: Dict[int, int] = field(default_factory=dict)
+    started: bool = False
+
+
+class Mtb:
+    """One MasterKernel threadblock: scheduler warp + 31 executors."""
+
+    def __init__(self, engine: Engine, gpu: Gpu, smm: Smm, table: TaskTable,
+                 column: int, functional: bool = False,
+                 serial_psched: bool = False,
+                 arena_bytes: int = MTB_ARENA_BYTES,
+                 deferred_scheduling: bool = False,
+                 trace=None) -> None:
+        self.engine = engine
+        self.gpu = gpu
+        self.smm = smm
+        self.table = table
+        self.column = column
+        self.timing = gpu.timing
+        self.functional = functional
+        #: ablation switch: place one warp per pSched pass instead of
+        #: letting the scheduler warp's 32 threads search in parallel
+        #: (what Algorithm 2 exists to avoid).
+        self.serial_psched = serial_psched
+        #: extension beyond Algorithm 1: when a task cannot start
+        #: placement right now (no free executor warp / barrier ID /
+        #: arena block), requeue it instead of blocking the scheduler
+        #: warp — keeps promotions flowing and lets priorities reorder
+        #: a deep backlog.
+        self.deferred_scheduling = deferred_scheduling
+        #: optional Recorder for scheduler-decision tracing
+        self.trace = trace
+        self.arena_bytes = arena_bytes
+        self.warptable = WarpTable()
+        self.buddy = BuddyAllocator(arena_bytes)
+        self.barriers = NamedBarrierPool()
+        self.arena = (
+            np.zeros(arena_bytes, dtype=np.uint8) if functional else None
+        )
+        #: executor warps currently running task work (useful occupancy).
+        self.busy_warps = TimeWeighted()
+        self.tasks_executed = 0
+        self._procs = [engine.spawn(self._scheduler(), f"sched.mtb{column}")]
+        for slot in range(len(self.warptable)):
+            self._procs.append(
+                engine.spawn(self._executor(slot), f"exec.mtb{column}.{slot}")
+            )
+
+    def shutdown(self) -> None:
+        """Interrupt this component's daemon processes."""
+        for proc in self._procs:
+            proc.interrupt()
+
+    # -- scheduler warp (Algorithm 1, lines 2-28) ---------------------------
+
+    def _scheduler(self) -> Generator:
+        signal = self.table.column_signals[self.column]
+        col = self.table.gpu[self.column]
+        while True:
+            # Arm before scanning so changes made while we schedule are
+            # not lost; the scan itself costs one warp-parallel poll.
+            wakeup = signal.wait()
+            yield self.timing.poll_iteration_ns
+            schedulable = []
+            for row in range(self.table.rows):
+                entry = col[row]
+                if entry.ready > READY_SCHEDULING:
+                    self._handle_promotion(row, entry)
+                if entry.sched:
+                    entry.sched = 0
+                    schedulable.append(row)
+            if schedulable and len(schedulable) > 1:
+                # priority extension: the warp-parallel scan has every
+                # schedulable row in registers anyway; order by task
+                # priority (stable, so priority 0 keeps row order —
+                # the paper's behaviour)
+                schedulable.sort(
+                    key=lambda r: -(col[r].spec.priority
+                                    if col[r].spec else 0)
+                )
+            for row in schedulable:
+                entry = col[row]
+                if self.deferred_scheduling and not self._can_start(entry):
+                    entry.sched = 1  # requeue; retry on the next wake
+                    if self.trace is not None:
+                        self.trace.sample("defer", self.engine.now,
+                                          entry.task_id)
+                    continue
+                yield from self._schedule_task(row, entry)
+            yield wakeup
+
+    def _can_start(self, entry: TaskEntry) -> bool:
+        """Deferred-scheduling probe: could placement begin right now?
+        Conservative — only the first block's immediate needs."""
+        task = entry.spec
+        if task is None:
+            return True  # let _schedule_task raise the corruption error
+        # a whole first threadblock must be placeable, or pSched would
+        # block the scheduler warp mid-placement
+        if len(self.warptable.free_slots()) < task.warps_per_block:
+            return False
+        if task.needs_sync and self.barriers.available == 0:
+            return False
+        if task.shared_mem_bytes:
+            self.buddy.flush_deferred()
+            probe = self.buddy.alloc(task.shared_mem_bytes)
+            if probe is None:
+                return False
+            self.buddy.free(probe)
+        return True
+
+    def _handle_promotion(self, row: int, entry: TaskEntry) -> None:
+        """Resolve a ready>1 pipelining pointer (Algorithm 1 lines 5-13)."""
+        prev_id = entry.ready
+        pcol, prow = self.table.id_map[prev_id]
+        prev = self.table.gpu[pcol][prow]
+        if prev.task_id == prev_id and prev.ready == READY_COPIED:
+            prev.ready = READY_SCHEDULING
+            prev.sched = 1
+            if self.trace is not None:
+                self.trace.sample("promote", self.engine.now, prev_id)
+            self.table.column_signals[pcol].pulse()
+        elif prev.task_id == prev_id and prev.ready > READY_SCHEDULING:
+            # predecessor's own pointer not yet resolved by its
+            # scheduler; retry when it reaches ready == -1.
+            self.table.register_promotion_waiter(pcol, prow, self.column)
+            return
+        # else: predecessor already promoted (host finalization) or
+        # finished — nothing to promote.
+        entry.ready = READY_COPIED
+        self.table.notify_ready_copied(self.column, row)
+
+    def _schedule_task(self, row: int, entry: TaskEntry) -> Generator:
+        task = entry.spec
+        if task is None:
+            # Only reachable under the unsafe single-transaction spawn
+            # (§4.2.1): the ready flag overtook the parameters, so the
+            # scheduler is holding a garbage kernel pointer.
+            raise RuntimeError(
+                f"TaskTable corruption at column {self.column} row "
+                f"{row}: sched flag set before parameters arrived "
+                "(the unordered-PCIe hazard of §4.2.1)"
+            )
+        if task.warps_per_block > len(self.warptable):
+            raise ValueError(
+                f"task {task.name!r}: a threadblock of "
+                f"{task.warps_per_block} warps exceeds the MTB's "
+                f"{len(self.warptable)} executor warps"
+            )
+        if entry.result is not None:
+            entry.result.sched_time = self.engine.now
+        if self.trace is not None:
+            self.trace.sample("schedule", self.engine.now, entry.task_id)
+        wpb = task.warps_per_block
+        state = ExecState(
+            done_ctr=task.total_warps,
+            block_warps_left={b: wpb for b in range(task.num_blocks)},
+        )
+        entry.exec_state = state
+        if task.shared_mem_bytes > 0 or task.needs_sync:
+            # per-threadblock placement (Algorithm 1 lines 17-26)
+            for block in range(task.num_blocks):
+                bar_id = -1
+                if task.needs_sync:
+                    while True:
+                        # arm BEFORE trying: a warp retiring (and
+                        # releasing its barrier ID) during this
+                        # iteration must not be a lost wakeup
+                        retry = self.warptable.free_signal.wait()
+                        got = self.barriers.acquire(wpb)
+                        if got is not None:
+                            bar_id = got
+                            break
+                        yield retry
+                    yield self.timing.barrier_mgmt_ns
+                offset: Optional[int] = None
+                if task.shared_mem_bytes > 0:
+                    while True:
+                        # arm BEFORE the alloc attempt: the last warp
+                        # can mark-and-retire inside the smem_alloc_ns
+                        # window, and its pulse must still wake us
+                        retry = self.warptable.free_signal.wait()
+                        self.buddy.flush_deferred()  # line 22
+                        offset = self.buddy.alloc(task.shared_mem_bytes)
+                        yield self.timing.smem_alloc_ns
+                        if offset is not None:
+                            break
+                        yield retry
+                state.block_sm_offset[block] = offset
+                state.block_bar_id[block] = bar_id
+                yield from self._psched(
+                    row, base_warp=block * wpb, count=wpb,
+                    sm_index=offset or 0, bar_id=bar_id, wpb=wpb,
+                )
+        else:
+            # schedule every warp of every block in one go (line 28)
+            for block in range(task.num_blocks):
+                state.block_sm_offset[block] = None
+                state.block_bar_id[block] = -1
+            yield from self._psched(
+                row, base_warp=0, count=task.total_warps,
+                sm_index=0, bar_id=-1, wpb=wpb,
+            )
+
+    def _psched(self, row: int, base_warp: int, count: int, sm_index: int,
+                bar_id: int, wpb: int) -> Generator:
+        """Algorithm 2: the scheduler warp's threads claim free executor
+        warps in parallel; loop until ``count`` warps are placed."""
+        placed = 0
+        while placed < count:
+            # arm before scanning so a retire during the pass is not a
+            # lost wakeup
+            retry = self.warptable.free_signal.wait()
+            yield self.timing.psched_pass_ns
+            free = self.warptable.free_slots()
+            take = min(len(free), count - placed)
+            if self.serial_psched:
+                take = min(take, 1)  # ablation: one placement per pass
+            for slot in free[:take]:
+                warp_id = base_warp + placed
+                self.warptable.dispatch(
+                    slot, warp_id=warp_id, e_num=row, sm_index=sm_index,
+                    bar_id=bar_id, block_id=warp_id // wpb,
+                )
+                self.busy_warps.add(self.engine.now, 1)
+                placed += 1
+            if take:
+                self.warptable.work_signal.pulse()
+            if placed < count:
+                yield retry
+
+    # -- executor warps (Algorithm 1, lines 29-43) ----------------------------
+
+    def _executor(self, slot_index: int) -> Generator:
+        wt = self.warptable
+        slot = wt.slots[slot_index]
+        while True:
+            if not slot.exec_flag:
+                yield wt.work_signal.wait()
+                continue
+            entry = self.table.gpu[self.column][slot.e_num]
+            task: TaskSpec = entry.spec
+            state: ExecState = entry.exec_state
+            if not state.started:
+                state.started = True
+                if entry.result is not None:
+                    entry.result.start_time = self.engine.now
+            local_warp = slot.warp_id - slot.block_id * task.warps_per_block
+            for item in task.warp_phases(slot.block_id, local_warp):
+                if isinstance(item, Phase):
+                    yield from self.smm.execute_phase(item, self.gpu.dram)
+                elif isinstance(item, BlockSync):
+                    if slot.bar_id < 0:
+                        raise RuntimeError(
+                            f"task {task.name!r} called syncBlock() but "
+                            "was spawned without the sync flag (Table 1: "
+                            "taskSpawn's sync flag allocates the named "
+                            "barrier)"
+                        )
+                    yield self.timing.named_barrier_ns
+                    yield self.barriers.barrier(slot.bar_id).arrive()
+                else:
+                    raise TypeError(f"kernel yielded {item!r}")
+            yield from self._warp_epilogue(slot.e_num, slot.block_id,
+                                           entry, task, state)
+            self.busy_warps.add(self.engine.now, -1)
+            wt.retire(slot_index)
+            if self.deferred_scheduling:
+                # freed resources may unblock a deferred row
+                self.table.column_signals[self.column].pulse()
+
+    def _warp_epilogue(self, row: int, block_id: int, entry: TaskEntry,
+                       task: TaskSpec, state: ExecState) -> Generator:
+        """Lines 34-42: last warp of the block releases block resources,
+        last warp of the task frees the TaskTable entry."""
+        state.block_warps_left[block_id] -= 1
+        if state.block_warps_left[block_id] == 0:
+            if self.functional and task.func is not None:
+                self._run_block_functional(task, block_id, state)
+            offset = state.block_sm_offset.get(block_id)
+            if offset is not None:
+                self.buddy.mark_for_dealloc(offset)  # line 37
+            bar_id = state.block_bar_id.get(block_id, -1)
+            if bar_id >= 0:
+                self.barriers.release(bar_id)  # line 39
+        state.done_ctr -= 1  # line 41's atomicDec
+        if state.done_ctr == 0:
+            if entry.result is not None:
+                entry.result.end_time = self.engine.now
+            self.tasks_executed += 1
+            if self.trace is not None:
+                self.trace.sample("task_done", self.engine.now,
+                                  entry.task_id)
+            self.table.gpu_complete(self.column, row)  # line 42
+        return
+        yield  # pragma: no cover - keeps this a generator subroutine
+
+    def _run_block_functional(self, task: TaskSpec, block_id: int,
+                              state: ExecState) -> None:
+        """Run the block's functional kernel against the *real* buddy
+        arena view, so allocator bugs would corrupt results."""
+        shared = None
+        offset = state.block_sm_offset.get(block_id)
+        if offset is not None and task.shared_mem_bytes:
+            shared = self.arena[offset:offset + task.shared_mem_bytes]
+            shared[:] = 0
+        task.func(BlockContext(task, block_id, shared))
+
+
+class MasterKernel:
+    """All 48 MTBs plus the whole-GPU resource acquisition."""
+
+    def __init__(self, engine: Engine, gpu: Gpu, table: TaskTable,
+                 functional: bool = False,
+                 serial_psched: bool = False,
+                 deferred_scheduling: bool = False,
+                 trace=None) -> None:
+        expected_columns = gpu.spec.num_smms * MTBS_PER_SMM
+        if table.num_columns != expected_columns:
+            raise ValueError(
+                f"TaskTable has {table.num_columns} columns but the GPU "
+                f"hosts {expected_columns} MTBs"
+            )
+        self.engine = engine
+        self.gpu = gpu
+        self.table = table
+        self.arena_bytes = mtb_arena_bytes(gpu.spec)
+        registers = min(MTB_REGISTERS,
+                        gpu.spec.registers_per_smm // MTBS_PER_SMM)
+        self.mtbs: List[Mtb] = []
+        column = 0
+        for smm in gpu.smms:
+            for _ in range(MTBS_PER_SMM):
+                smm.reserve_block(
+                    warps=MTB_WARPS, registers=registers,
+                    shared_mem=self.arena_bytes,
+                )
+                self.mtbs.append(
+                    Mtb(engine, gpu, smm, table, column, functional,
+                        serial_psched, self.arena_bytes,
+                        deferred_scheduling, trace)
+                )
+                column += 1
+
+    def shutdown(self) -> None:
+        """Tear the daemon down at the end of an experiment."""
+        for mtb in self.mtbs:
+            mtb.shutdown()
+
+    def tasks_executed(self) -> int:
+        """Total tasks completed across all MTBs."""
+        return sum(mtb.tasks_executed for mtb in self.mtbs)
+
+    def useful_occupancy(self, end: Optional[float] = None) -> float:
+        """Time-averaged fraction of executor warps running task work."""
+        end = self.engine.now if end is None else end
+        busy = sum(m.busy_warps.average(end) for m in self.mtbs)
+        capacity = len(self.mtbs) * WarpTable.EXECUTOR_WARPS
+        return busy / capacity

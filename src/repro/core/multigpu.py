@@ -1,0 +1,141 @@
+"""Multi-GPU Pagoda — the extension §8 leaves open.
+
+The paper "virtualizes the compute resources of a *single* GPU at the
+granularity of a warp" (§7's contrast with Sengupta et al.).  This
+module extends the runtime across several GPUs on one node: each GPU
+runs its own MasterKernel + TaskTable over its own PCIe link, and the
+host load-balances ``taskSpawn`` calls by shortest observed queue.
+
+Everything else is unchanged — the per-GPU stack is exactly
+:class:`~repro.core.runtime.PagodaSession`, sharing one simulated
+clock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.runtime import PagodaConfig, PagodaSession
+from repro.gpu.spec import GpuSpec
+from repro.gpu.timing import TimingModel
+from repro.pcie.bus import Direction
+from repro.sim import Engine
+from repro.tasks import RunStats, TaskResult, TaskSpec
+
+
+class MultiGpuPagoda:
+    """N independent Pagoda stacks behind one load-balancing host."""
+
+    def __init__(self, num_gpus: int = 2,
+                 spec: Optional[GpuSpec] = None,
+                 timing: Optional[TimingModel] = None,
+                 config: Optional[PagodaConfig] = None) -> None:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        self.engine = Engine()
+        self.config = config or PagodaConfig()
+        self.sessions: List[PagodaSession] = [
+            PagodaSession(spec, timing, self.config, engine=self.engine)
+            for _ in range(num_gpus)
+        ]
+        #: host-side estimate of outstanding tasks per GPU
+        self._outstanding = [0] * num_gpus
+
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPU stacks in this node."""
+        return len(self.sessions)
+
+    def pick_gpu(self) -> int:
+        """Shortest-queue-first placement (host-visible estimate)."""
+        return min(range(self.num_gpus), key=lambda i: self._outstanding[i])
+
+    def shutdown(self) -> None:
+        """Interrupt this component's daemon processes."""
+        for session in self.sessions:
+            session.shutdown()
+
+
+def run_multi_gpu_pagoda(tasks: List[TaskSpec],
+                         num_gpus: int = 2,
+                         spec: Optional[GpuSpec] = None,
+                         timing: Optional[TimingModel] = None,
+                         config: Optional[PagodaConfig] = None) -> RunStats:
+    """Execute ``tasks`` across ``num_gpus`` Pagoda stacks."""
+    config = config or PagodaConfig()
+    node = MultiGpuPagoda(num_gpus, spec, timing, config)
+    engine = node.engine
+    timing = node.sessions[0].timing
+    results = [TaskResult(i, t.name) for i, t in enumerate(tasks)]
+    placements: List[int] = [-1] * len(tasks)
+
+    def spawner():
+        for i, task in enumerate(tasks):
+            if config.spawn_gap_ns:
+                yield config.spawn_gap_ns
+            gpu_idx = node.pick_gpu()
+            placements[i] = gpu_idx
+            node._outstanding[gpu_idx] += 1
+            session = node.sessions[gpu_idx]
+            results[i].spawn_time = engine.now
+            if config.copy_inputs and task.input_bytes:
+                yield timing.memcpy_issue_ns
+                engine.spawn(
+                    session.bus.transfer(task.input_bytes, Direction.H2D),
+                    f"incopy.{i}",
+                )
+            yield from session.host.task_spawn(task, results[i])
+
+    spawner_proc = engine.spawn(spawner(), "mg-spawner")
+
+    def collector(gpu_idx: int):
+        session = node.sessions[gpu_idx]
+        host, table = session.host, session.table
+        copied = set()
+        transfers = []
+        while True:
+            done_spawning = not spawner_proc.alive
+            if done_spawning:
+                yield from host.finalize_last()
+            yield timing.wait_timeout_ns
+            yield from table.copy_back()
+            for task_id in table.finished - copied:
+                copied.add(task_id)
+                node._outstanding[gpu_idx] -= 1
+                col, row = table.id_map[task_id]
+                spec_done = table.cpu[col][row].spec
+                if (config.copy_outputs and spec_done is not None
+                        and spec_done.output_bytes):
+                    yield timing.memcpy_issue_ns
+                    transfers.append(engine.spawn(
+                        session.bus.transfer(spec_done.output_bytes,
+                                             Direction.D2H),
+                        f"outcopy.{gpu_idx}.{task_id}",
+                    ))
+            if done_spawning and host.spawn_count == len(copied):
+                break
+        for proc in transfers:
+            yield proc
+
+    collectors = [engine.spawn(collector(i), f"mg-collector.{i}")
+                  for i in range(num_gpus)]
+    engine.run()
+    for proc in collectors:
+        if not proc._done:
+            raise RuntimeError("multi-GPU run did not complete")
+    makespan = engine.now
+    node.shutdown()
+    executed = sum(s.master.tasks_executed() for s in node.sessions)
+    if executed != len(tasks):
+        raise RuntimeError(f"executed {executed} of {len(tasks)} tasks")
+    return RunStats(
+        runtime=f"pagoda-x{num_gpus}",
+        makespan=makespan,
+        results=results,
+        copy_time=sum(s.bus.total_busy_time() for s in node.sessions),
+        compute_time=max(r.end_time for r in results) if results else 0.0,
+        mean_occupancy=sum(
+            s.master.useful_occupancy(makespan) for s in node.sessions
+        ) / num_gpus,
+        meta={"placements": placements},
+    )

@@ -1,0 +1,67 @@
+"""Named-barrier pool for sub-threadblock synchronization (§5.2).
+
+PTX exposes 16 named barriers (``bar.sync <id>``) per threadblock.
+Pagoda assigns one ID to each task threadblock that declared the sync
+flag, so only that block's warps synchronize — no cross-task
+interference.  IDs are recycled when the block finishes; the pool size
+of 16 is a hard PTX limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cuda.barrier import WarpBarrier
+
+PTX_NAMED_BARRIERS = 16
+
+
+class NamedBarrierPool:
+    """Allocates PTX barrier IDs to threadblocks inside one MTB."""
+
+    def __init__(self, count: int = PTX_NAMED_BARRIERS) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = count
+        self._free: List[int] = list(range(count))
+        self._barriers: Dict[int, WarpBarrier] = {}
+
+    def acquire(self, parties: int) -> Optional[int]:
+        """Take an ID and bind a ``parties``-warp barrier to it.
+
+        Returns ``None`` when all 16 IDs are in use (the scheduler warp
+        must retry after blocks retire).
+        """
+        if not self._free:
+            return None
+        bar_id = self._free.pop()
+        self._barriers[bar_id] = WarpBarrier(parties, f"bar{bar_id}")
+        return bar_id
+
+    def barrier(self, bar_id: int) -> WarpBarrier:
+        """The WarpBarrier bound to an acquired ID."""
+        try:
+            return self._barriers[bar_id]
+        except KeyError:
+            raise ValueError(f"barrier id {bar_id} is not acquired") from None
+
+    def release(self, bar_id: int) -> None:
+        """Recycle an ID once its threadblock has finished."""
+        if bar_id not in self._barriers:
+            raise ValueError(f"barrier id {bar_id} is not acquired")
+        bar = self._barriers.pop(bar_id)
+        if bar.waiting:
+            raise RuntimeError(
+                f"releasing barrier {bar_id} with {bar.waiting} warps waiting"
+            )
+        self._free.append(bar_id)
+
+    @property
+    def available(self) -> int:
+        """Barrier IDs currently free."""
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        """Barrier IDs currently bound to threadblocks."""
+        return self.count - len(self._free)

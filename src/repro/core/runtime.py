@@ -1,0 +1,203 @@
+"""End-to-end Pagoda runner: assemble the stack and execute a task set.
+
+This is the reproduction's equivalent of "link against libpagoda and
+run": it brings up a GPU, a PCIe bus, the TaskTable, the MasterKernel
+daemon, and a host, then plays a task list through the Table 1 API.
+
+Two host threads mirror Fig. 1a's structure: a *spawner* issuing input
+copies and ``taskSpawn`` calls, and a *collector* waiting on
+completions and pulling output data back.  A ``batch_size`` turns the
+runner into the **Pagoda-Batching** ablation of Fig. 11 (spawn a batch,
+wait for it to drain, spawn the next — concurrent scheduling but no
+continuous spawning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.host_api import PagodaHost
+from repro.core.masterkernel import MTBS_PER_SMM, MasterKernel
+from repro.core.tasktable import TaskTable
+from repro.gpu.device import Gpu
+from repro.gpu.spec import GpuSpec, titan_x
+from repro.gpu.timing import DEFAULT_TIMING, TimingModel
+from repro.pcie.bus import Direction, PcieBus
+from repro.sim import Engine
+from repro.tasks import RunStats, TaskResult, TaskSpec
+
+
+@dataclass
+class PagodaConfig:
+    """Knobs for one Pagoda run."""
+
+    #: run functional kernels (validated outputs) alongside timing.
+    functional: bool = False
+    #: spacing between task arrivals at the host (0 = all available).
+    spawn_gap_ns: float = 0.0
+    #: open-loop arrivals: task i *arrives* at i x spawn_gap_ns on the
+    #: wall clock regardless of host progress (a sensor feed); latency
+    #: is then measured from arrival, so host-side queueing shows up.
+    #: Closed-loop (default) spaces spawns relative to host progress.
+    open_loop: bool = False
+    #: Pagoda-Batching mode: wait for each batch to finish before
+    #: spawning the next (Fig. 11 ablation).  None = continuous.
+    batch_size: Optional[int] = None
+    #: move per-task input/output payloads over PCIe.
+    copy_inputs: bool = True
+    copy_outputs: bool = True
+    #: TaskTable rows per MTB column (§4.2: Pagoda uses 32).
+    rows: int = 32
+    #: spawn protocol (§4.2.1): "pipelined" (Pagoda's), "two-copies"
+    #: (safe strawman, doubles copy overhead), or "unsafe-single"
+    #: (demonstrates the PCIe ordering hazard — may corrupt entries).
+    protocol: str = "pipelined"
+    #: number of host spawner threads (Fig. 1a uses 2 CPU threads; the
+    #: collector is always a separate thread on top of these).
+    spawner_threads: int = 1
+    #: ablation: disable Algorithm 2's warp-parallel search — the
+    #: scheduler places one warp per pass.
+    serial_psched: bool = False
+    #: extension: requeue tasks that cannot start placement instead of
+    #: blocking the scheduler warp (Algorithm 1 blocks).  Required for
+    #: priorities to reorder a deep backlog.
+    deferred_scheduling: bool = False
+    #: record scheduler decisions (promote/schedule/defer/task_done)
+    #: into ``session.scheduler_trace`` (a Recorder).
+    trace_scheduler: bool = False
+
+
+class PagodaSession:
+    """A live Pagoda stack, for API-level use (examples, tests)."""
+
+    def __init__(self, spec: Optional[GpuSpec] = None,
+                 timing: Optional[TimingModel] = None,
+                 config: Optional[PagodaConfig] = None,
+                 engine: Optional[Engine] = None) -> None:
+        self.spec = spec or titan_x()
+        self.timing = timing or DEFAULT_TIMING
+        self.config = config or PagodaConfig()
+        # a shared engine lets several sessions (e.g. one per GPU of a
+        # multi-GPU node) advance on one simulated clock
+        self.engine = engine or Engine()
+        self.gpu = Gpu(self.engine, self.spec, self.timing)
+        self.bus = PcieBus(self.engine, self.timing)
+        num_columns = self.spec.num_smms * MTBS_PER_SMM
+        self.table = TaskTable(self.engine, self.bus, num_columns,
+                               rows=self.config.rows)
+        from repro.sim import Recorder
+        self.scheduler_trace = (
+            Recorder() if self.config.trace_scheduler else None
+        )
+        self.master = MasterKernel(
+            self.engine, self.gpu, self.table,
+            functional=self.config.functional,
+            serial_psched=self.config.serial_psched,
+            deferred_scheduling=self.config.deferred_scheduling,
+            trace=self.scheduler_trace,
+        )
+        self.host = PagodaHost(self.engine, self.table, self.timing,
+                               protocol=self.config.protocol)
+
+    def shutdown(self) -> None:
+        """Interrupt this component's daemon processes."""
+        self.master.shutdown()
+
+
+def run_pagoda(tasks: List[TaskSpec],
+               spec: Optional[GpuSpec] = None,
+               timing: Optional[TimingModel] = None,
+               config: Optional[PagodaConfig] = None) -> RunStats:
+    """Execute ``tasks`` under Pagoda; returns RunStats."""
+    config = config or PagodaConfig()
+    session = PagodaSession(spec, timing, config)
+    engine, host, table, bus = (
+        session.engine, session.host, session.table, session.bus
+    )
+    timing = session.timing
+    results = [TaskResult(i, t.name) for i, t in enumerate(tasks)]
+    id_to_task = {}
+
+    if config.batch_size and config.spawner_threads != 1:
+        raise ValueError("batching mode requires a single spawner thread")
+
+    def spawner(indices):
+        for count, i in enumerate(indices):
+            task = tasks[i]
+            if config.spawn_gap_ns and config.open_loop:
+                arrival = (i + 1) * config.spawn_gap_ns
+                if engine.now < arrival:
+                    yield arrival - engine.now
+                results[i].spawn_time = arrival
+            elif config.spawn_gap_ns:
+                yield config.spawn_gap_ns
+                results[i].spawn_time = engine.now
+            else:
+                results[i].spawn_time = engine.now
+            if config.copy_inputs and task.input_bytes:
+                yield timing.memcpy_issue_ns  # cudaMemcpyAsync driver call
+                engine.spawn(
+                    bus.transfer(task.input_bytes, Direction.H2D),
+                    f"incopy.{i}",
+                )
+            task_id = yield from host.task_spawn(task, results[i])
+            id_to_task[task_id] = task
+            if config.batch_size and (count + 1) % config.batch_size == 0:
+                yield from host.wait_all()
+
+    n_spawners = max(1, config.spawner_threads)
+    spawner_procs = [
+        engine.spawn(spawner(range(k, len(tasks), n_spawners)),
+                     f"spawner{k}")
+        for k in range(n_spawners)
+    ]
+
+    def collector():
+        copied = set()
+        transfers = []
+        while True:
+            done_spawning = not any(p.alive for p in spawner_procs)
+            if done_spawning:
+                yield from host.finalize_last()
+            yield timing.wait_timeout_ns
+            yield from table.copy_back()
+            for task_id in table.finished - copied:
+                copied.add(task_id)
+                task = id_to_task.get(task_id)
+                if (config.copy_outputs and task is not None
+                        and task.output_bytes):
+                    yield timing.memcpy_issue_ns  # issued by 2nd thread
+                    transfers.append(engine.spawn(
+                        bus.transfer(task.output_bytes, Direction.D2H),
+                        f"outcopy.{task_id}",
+                    ))
+            if done_spawning and len(table.finished) >= len(tasks):
+                break
+        for proc in transfers:
+            yield proc
+
+    collector_proc = engine.spawn(collector(), "collector")
+    engine.run()
+    if not collector_proc._done:
+        raise RuntimeError("Pagoda run did not complete (deadlock?)")
+    makespan = engine.now
+    session.shutdown()
+
+    executed = session.master.tasks_executed()
+    if executed != len(tasks):
+        raise RuntimeError(
+            f"executed {executed} of {len(tasks)} tasks"
+        )
+    return RunStats(
+        runtime="pagoda" if not config.batch_size else "pagoda-batching",
+        makespan=makespan,
+        results=results,
+        copy_time=bus.total_busy_time(),
+        compute_time=max(r.end_time for r in results) if results else 0.0,
+        mean_occupancy=session.master.useful_occupancy(makespan),
+        meta={
+            "entry_copies": table.entry_copies,
+            "copy_backs": table.copy_backs,
+        },
+    )

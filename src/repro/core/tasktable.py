@@ -1,0 +1,334 @@
+"""The TaskTable: mirrored CPU/GPU task-spawn structure (§4.2, Fig. 2).
+
+One column per MTB, 32 rows per column.  Each entry carries the task's
+launch parameters plus two protocol fields:
+
+``ready``
+    0  — entry free / task finished;
+    -1 — parameters have been copied to the GPU table;
+    1  — the task is being considered for scheduling;
+    >1 — a *taskID*: the pipelining pointer naming the previously
+    spawned task whose parameters are now known to be complete.
+
+``sched``
+    1 — the task may begin scheduling on its MTB; 0 otherwise.
+
+The protocol's partition of authority makes simultaneous updates safe
+without PCIe atomics: **the CPU only touches entries whose ready field
+is 0; the GPU only touches entries with non-zero ready fields**
+(Fig. 2a).  The CPU learns about completions lazily, via aggregate
+copy-backs of the whole table (§4.2.2).
+
+The CPU and GPU mirrors are distinct objects here, so tests can observe
+the mismatching-values window Fig. 2b calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.pcie.bus import Direction, PcieBus
+from repro.sim import Engine, Signal
+from repro.tasks import TaskResult, TaskSpec
+
+READY_FREE = 0
+READY_COPIED = -1
+READY_SCHEDULING = 1
+FIRST_TASK_ID = 2  # taskIDs are integers > 1 (§4.2.2)
+
+#: Bytes of protocol state copied back per entry in a lazy aggregate
+#: update (ready + sched words).
+READBACK_BYTES_PER_ENTRY = 8
+
+
+@dataclass
+class TaskEntry:
+    """One TaskTable slot (either mirror)."""
+
+    ready: int = READY_FREE
+    sched: int = 0
+    task_id: int = 0
+    spec: Optional[TaskSpec] = None
+    result: Optional[TaskResult] = None
+    #: runtime execution state attached by the MTB scheduler (done
+    #: counters, barrier ids, shared-memory offsets).
+    exec_state: object = None
+    #: CPU-mirror only: parameters are still crossing the bus.  The
+    #: host's copy-back skips such entries (it knows which spawns have
+    #: completed their transaction from the pipelining pointer).
+    inflight: bool = False
+
+    def protocol_state(self) -> Tuple[int, int]:
+        """(ready, sched) — the Fig. 2 state pair."""
+        return (self.ready, self.sched)
+
+
+class TaskTable:
+    """Both mirrors plus the transfer machinery between them."""
+
+    def __init__(self, engine: Engine, bus: PcieBus, num_columns: int,
+                 rows: int = 32) -> None:
+        if num_columns < 1 or rows < 1:
+            raise ValueError("table must have at least one column and row")
+        self.engine = engine
+        self.bus = bus
+        self.timing = bus.timing
+        self.num_columns = num_columns
+        self.rows = rows
+        self.cpu: List[List[TaskEntry]] = [
+            [TaskEntry() for _ in range(rows)] for _ in range(num_columns)
+        ]
+        self.gpu: List[List[TaskEntry]] = [
+            [TaskEntry() for _ in range(rows)] for _ in range(num_columns)
+        ]
+        #: per-column change notification on the GPU side (scheduler
+        #: warps block here instead of burning poll loops).
+        self.column_signals: List[Signal] = [Signal() for _ in range(num_columns)]
+        #: taskID -> (column, row); the indirection behind ready>1.
+        self.id_map: Dict[int, Tuple[int, int]] = {}
+        self._next_id = FIRST_TASK_ID
+        # Host-side free-entry queue, interleaved across columns so
+        # consecutive spawns land on different MTBs (load balance).
+        self._cpu_free: List[Tuple[int, int]] = [
+            (col, row) for row in range(rows) for col in range(num_columns)
+        ]
+        self._cpu_free.reverse()  # pop() yields column-major order
+        #: taskIDs whose completion the CPU has observed via copy-back.
+        self.finished: Set[int] = set()
+        #: pulsed on the *GPU* side whenever a task finishes; the host
+        #: model uses it to bound wait() timeouts, runtimes use it for
+        #: makespan accounting.
+        self.gpu_done_signal = Signal()
+        self.posted_bytes = 0
+        self.copy_backs = 0
+        self.entry_copies = 0
+        # completions the CPU has not yet pulled back; drained by
+        # copy_back() (equivalent to scanning every entry for the
+        # occupied -> free transition, without the O(entries) walk).
+        self._completed_unreported: List[Tuple[int, int]] = []
+        # columns whose scheduler deferred a promotion because the
+        # target entry had not reached ready == -1 yet; keyed by the
+        # target location.
+        self._promotion_waiters: Dict[Tuple[int, int], List[int]] = {}
+
+    # -- geometry / ids ------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of TaskTable entries."""
+        return self.num_columns * self.rows
+
+    @property
+    def free_queue_len(self) -> int:
+        """Host-visible count of reclaimable entries (may include
+        entries already popped conservatively; 0 means truly none)."""
+        return len(self._cpu_free)
+
+    def post_cost(self, param_bytes: int, transactions: int = 1) -> float:
+        """Host-thread cost to issue the posted write(s) for one entry.
+
+        Entry spawns are pipelined mapped-memory stores: the CPU pays
+        the posting cost per transaction plus payload wire time; the
+        §4.2.1 two-transaction strawman pays it twice — "doubling the
+        parameter copying overhead"."""
+        return (transactions * self.timing.entry_post_ns
+                + param_bytes / self.timing.pcie_bandwidth_bpns)
+
+    def allocate_id(self) -> int:
+        """Hand out the next taskID (monotonic, > 1)."""
+        tid = self._next_id
+        self._next_id += 1
+        return tid
+
+    def entry_for(self, task_id: int, side: str = "gpu") -> TaskEntry:
+        """Look an entry up by taskID on either mirror."""
+        col, row = self.id_map[task_id]
+        mirror = self.gpu if side == "gpu" else self.cpu
+        return mirror[col][row]
+
+    # -- CPU-side spawn path ---------------------------------------------------
+
+    def take_free_entry(self) -> Optional[Tuple[int, int]]:
+        """Pop a CPU-side entry known to be free (ready == 0)."""
+        while self._cpu_free:
+            col, row = self._cpu_free.pop()
+            if self.cpu[col][row].ready == READY_FREE:
+                return (col, row)
+        return None
+
+    def fill_cpu_entry(self, col: int, row: int, spec: TaskSpec,
+                       result: TaskResult, prev_task_id: Optional[int]) -> int:
+        """Write the task's parameters into the CPU mirror (taskSpawn).
+
+        ``prev_task_id`` is the pipelining pointer; ``None`` marks a
+        burst-first task (ready = -1 directly, Fig. 2b's TA).
+        """
+        entry = self.cpu[col][row]
+        if entry.ready != READY_FREE:
+            raise RuntimeError(
+                f"CPU spawning into non-free entry ({col},{row}): "
+                f"ready={entry.ready}"
+            )
+        task_id = self.allocate_id()
+        entry.spec = spec
+        entry.result = result
+        entry.task_id = task_id
+        entry.sched = 0
+        entry.ready = prev_task_id if prev_task_id is not None else READY_COPIED
+        entry.inflight = True
+        self.id_map[task_id] = (col, row)
+        return task_id
+
+    def copy_entry_to_gpu(self, col: int, row: int) -> Generator:
+        """One posted H2D write carrying the entry (§4.2.1's
+        steady-state "1 copy per task table entry").
+
+        Entries ride the zero-copy mapped path: back-to-back writes
+        serialize only at the posting rate plus payload wire time, and
+        become visible after the mapped-write latency.
+        """
+        src = self.cpu[col][row]
+        nbytes = (src.spec.param_bytes if src.spec else 0) + READBACK_BYTES_PER_ENTRY
+        yield self.timing.mapped_write_ns
+        self.posted_bytes += nbytes
+        dst = self.gpu[col][row]
+        dst.spec = src.spec
+        dst.result = src.result
+        dst.task_id = src.task_id
+        dst.sched = src.sched
+        dst.ready = src.ready
+        src.inflight = False
+        self.entry_copies += 1
+        self.column_signals[col].pulse()
+
+    def copy_entry_two_transactions(self, col: int, row: int) -> Generator:
+        """The §4.2.1 strawman the pipelined protocol replaces: params
+        in one transaction, the ready flag in a second.
+
+        Safe (posted writes stay ordered) but "doubles the parameter
+        copying overhead" — the ablation benchmark quantifies it.  In
+        this protocol the task needs no promotion: the second write
+        delivers (1, 1) directly.
+        """
+        src = self.cpu[col][row]
+        # transaction 1: the parameters
+        yield self.timing.mapped_write_ns
+        dst = self.gpu[col][row]
+        dst.spec = src.spec
+        dst.result = src.result
+        dst.task_id = src.task_id
+        dst.ready = READY_COPIED
+        dst.sched = 0
+        # transaction 2: the ready flag (ordered behind the first)
+        yield self.timing.mapped_write_ns
+        dst.ready = READY_SCHEDULING
+        dst.sched = 1
+        src.inflight = False
+        self.entry_copies += 1
+        self.column_signals[col].pulse()
+
+    def copy_entry_unsafe_single(self, col: int, row: int,
+                                 hazard: bool = True) -> Generator:
+        """The broken §4.2.1 variant: parameters and ready flag in ONE
+        transaction.  "The PCIe bus does not guarantee that the
+        parameters will arrive in the GPU memory before the ready
+        flag" — with ``hazard`` the flag lands first, and the scheduler
+        warp observes a schedulable entry whose kernel pointer and
+        arguments are still stale.  Exists to demonstrate the failure
+        mode; never used by the real protocol.
+        """
+        src = self.cpu[col][row]
+        dst = self.gpu[col][row]
+
+        def land_params() -> None:
+            dst.spec = src.spec
+            dst.result = src.result
+            dst.task_id = src.task_id
+            src.inflight = False
+            self.column_signals[col].pulse()
+
+        def land_flag() -> None:
+            dst.ready = READY_SCHEDULING
+            dst.sched = 1
+            self.column_signals[col].pulse()
+
+        half = self.timing.mapped_write_ns / 2
+        if hazard:
+            # flag first: the scheduler can race ahead of the params
+            self.engine.call_after(half, land_flag)
+            self.engine.call_after(2 * half, land_params)
+        else:
+            self.engine.call_after(half, land_params)
+            self.engine.call_after(2 * half, land_flag)
+        yield 2 * half
+        self.entry_copies += 1
+
+    def push_state_to_gpu(self, col: int, row: int) -> Generator:
+        """Host update of just the protocol words of one entry (used by
+        the idle-host finalization of the last task)."""
+        src = self.cpu[col][row]
+        yield self.timing.entry_post_ns  # the host's own posting store
+        yield self.timing.mapped_write_ns
+        dst = self.gpu[col][row]
+        dst.ready = src.ready
+        dst.sched = src.sched
+        self.column_signals[col].pulse()
+
+    # -- CPU-side lazy aggregate copy-back (§4.2.2) -----------------------------
+
+    def copy_back(self) -> Generator:
+        """Bulk D2H copy of every entry's protocol state.
+
+        Updates the CPU mirror, records finished tasks, and returns
+        freed entries to the free queue.
+        """
+        nbytes = self.capacity * READBACK_BYTES_PER_ENTRY
+        yield from self.bus.transfer(nbytes, Direction.D2H)
+        self.copy_backs += 1
+        drained, self._completed_unreported = self._completed_unreported, []
+        for col, row in drained:
+            gpu = self.gpu[col][row]
+            cpu = self.cpu[col][row]
+            if cpu.inflight:  # pragma: no cover - params precede completion
+                # the GPU mirror does not yet reflect this spawn;
+                # adopting its stale ready==0 would double-book the
+                # entry.
+                self._completed_unreported.append((col, row))
+                continue
+            cpu.ready = gpu.ready
+            cpu.sched = gpu.sched
+            self.finished.add(cpu.task_id)
+            self._cpu_free.append((col, row))
+
+    # -- GPU-side promotion coordination ---------------------------------------
+
+    def register_promotion_waiter(self, target_col: int, target_row: int,
+                                  waiting_col: int) -> None:
+        """A scheduler found its entry's predecessor not yet at
+        ready == -1; re-wake it when that predecessor gets there."""
+        self._promotion_waiters.setdefault(
+            (target_col, target_row), []
+        ).append(waiting_col)
+
+    def notify_ready_copied(self, col: int, row: int) -> None:
+        """An entry just transitioned to ready == -1; wake deferred
+        promoters targeting it."""
+        waiters = self._promotion_waiters.pop((col, row), None)
+        if waiters:
+            for waiting_col in waiters:
+                self.column_signals[waiting_col].pulse()
+
+    # -- GPU-side completion ------------------------------------------------
+
+    def gpu_complete(self, col: int, row: int) -> None:
+        """Last executor warp frees the entry (Algorithm 1 line 42)."""
+        entry = self.gpu[col][row]
+        entry.ready = READY_FREE
+        entry.sched = 0
+        self._completed_unreported.append((col, row))
+        self.gpu_done_signal.pulse((col, row))
+
+    def gpu_finished_count(self) -> int:
+        """Tasks whose completion the GPU side has recorded."""
+        return self.gpu_done_signal.pulse_count

@@ -1,0 +1,114 @@
+"""Runtime invariant checking for a live Pagoda session.
+
+These are the conservation laws that make the schedule trustworthy;
+stress tests call :func:`check_session` at arbitrary points mid-run
+and after completion.  A violation raises :class:`InvariantViolation`
+with a precise description.
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime import PagodaSession
+from repro.core.tasktable import READY_FREE
+
+
+class InvariantViolation(AssertionError):
+    """A Pagoda conservation law was broken."""
+
+
+def check_mtb(mtb) -> None:
+    """Per-MTB invariants: WarpTable/buddy/barrier consistency."""
+    busy = mtb.warptable.busy_count
+    if not 0 <= busy <= len(mtb.warptable):
+        raise InvariantViolation(
+            f"MTB {mtb.column}: busy_count {busy} out of range"
+        )
+    if abs(mtb.busy_warps.current - busy) > 0:
+        raise InvariantViolation(
+            f"MTB {mtb.column}: occupancy tracker says "
+            f"{mtb.busy_warps.current} busy warps, WarpTable says {busy}"
+        )
+    # every executing slot must reference a live TaskTable entry
+    for i, slot in enumerate(mtb.warptable.slots):
+        if slot.exec_flag:
+            entry = mtb.table.gpu[mtb.column][slot.e_num]
+            if entry.spec is None:
+                raise InvariantViolation(
+                    f"MTB {mtb.column} slot {i}: executing a task with "
+                    "no parameters"
+                )
+            if entry.ready == READY_FREE:
+                raise InvariantViolation(
+                    f"MTB {mtb.column} slot {i}: executing warp of an "
+                    "entry already marked free"
+                )
+            if slot.block_id >= entry.spec.num_blocks:
+                raise InvariantViolation(
+                    f"MTB {mtb.column} slot {i}: block_id "
+                    f"{slot.block_id} out of range"
+                )
+    # the buddy tree's structural invariants
+    try:
+        mtb.buddy.check_invariants()
+    except AssertionError as exc:
+        raise InvariantViolation(
+            f"MTB {mtb.column}: buddy allocator corrupt: {exc}"
+        ) from exc
+    # barrier pool: in-use + available == capacity
+    pool = mtb.barriers
+    if pool.in_use + pool.available != pool.count:
+        raise InvariantViolation(
+            f"MTB {mtb.column}: barrier pool leak "
+            f"({pool.in_use} + {pool.available} != {pool.count})"
+        )
+
+
+def check_table(table) -> None:
+    """TaskTable invariants: id_map consistency, no double-free."""
+    for task_id, (col, row) in table.id_map.items():
+        if not (0 <= col < table.num_columns and 0 <= row < table.rows):
+            raise InvariantViolation(
+                f"task {task_id}: id_map points outside the table"
+            )
+    # host-observed completions must be GPU-completed
+    if len(table.finished) > table.gpu_done_signal.pulse_count:
+        raise InvariantViolation(
+            "host observed more completions than the GPU produced"
+        )
+
+
+def check_session(session: PagodaSession) -> None:
+    """All invariants of a live (or finished) Pagoda stack."""
+    for mtb in session.master.mtbs:
+        check_mtb(mtb)
+    check_table(session.table)
+    # warp conservation across the whole device: busy executor warps
+    # never exceed capacity
+    total_busy = sum(m.warptable.busy_count for m in session.master.mtbs)
+    capacity = len(session.master.mtbs) * len(session.master.mtbs[0].warptable)
+    if total_busy > capacity:
+        raise InvariantViolation(
+            f"{total_busy} busy warps exceed capacity {capacity}"
+        )
+
+
+def check_quiescent(session: PagodaSession) -> None:
+    """After a drained run: everything returned to the free state."""
+    check_session(session)
+    for mtb in session.master.mtbs:
+        if mtb.warptable.busy_count != 0:
+            raise InvariantViolation(
+                f"MTB {mtb.column}: {mtb.warptable.busy_count} warps "
+                "still executing after drain"
+            )
+        mtb.buddy.flush_deferred()
+        if mtb.buddy.allocated_bytes != 0:
+            raise InvariantViolation(
+                f"MTB {mtb.column}: {mtb.buddy.allocated_bytes} bytes of "
+                "shared memory leaked"
+            )
+        if mtb.barriers.in_use != 0:
+            raise InvariantViolation(
+                f"MTB {mtb.column}: {mtb.barriers.in_use} barrier IDs "
+                "leaked"
+            )

@@ -1,0 +1,84 @@
+"""The per-MTB WarpTable (§4.1, Table 2).
+
+Each MTB keeps one slot per executor warp (31 slots) in shared memory.
+The scheduler warp writes a slot to hand a task warp to an executor;
+the executor resets ``exec`` when done.  Fields follow Table 2 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Signal
+
+
+@dataclass
+class WarpSlot:
+    """One executor warp's bookkeeping entry (Table 2)."""
+
+    #: warp ID of the warp *within the current task* — drives getTid().
+    warp_id: int = 0
+    #: TaskTable entry (row) being executed; lets the warp fetch args.
+    e_num: int = -1
+    #: shared-memory starting offset for the warp's threadblock.
+    sm_index: int = 0
+    #: named-barrier ID for the block (valid only if the task syncs).
+    bar_id: int = -1
+    #: block index within the task (derived; the real system derives it
+    #: from warp_id and the task geometry).
+    block_id: int = 0
+    #: set by the scheduler to start execution; reset by the executor.
+    exec_flag: bool = False
+
+
+class WarpTable:
+    """31 slots + wakeup signalling between scheduler and executors."""
+
+    EXECUTOR_WARPS = 31
+
+    def __init__(self, slots: int = EXECUTOR_WARPS) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.slots = [WarpSlot() for _ in range(slots)]
+        #: pulsed by the scheduler after setting exec flags; executor
+        #: warps block on it instead of spin-reading their slot.
+        self.work_signal = Signal()
+        #: pulsed by executors when they free their slot; the scheduler
+        #: blocks on it when pSched finds no free warps.
+        self.free_signal = Signal()
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def free_slots(self):
+        """Indices of executor warps with a clear exec flag."""
+        return [i for i, s in enumerate(self.slots) if not s.exec_flag]
+
+    @property
+    def busy_count(self) -> int:
+        """Executor warps currently running task work."""
+        return sum(1 for s in self.slots if s.exec_flag)
+
+    def dispatch(self, slot_index: int, warp_id: int, e_num: int,
+                 sm_index: int, bar_id: int, block_id: int) -> None:
+        """Scheduler-side: fill a slot and set its exec flag
+        (Algorithm 2 lines 9-14; the threadfence is implicit in the
+        simulator's sequential slot update)."""
+        slot = self.slots[slot_index]
+        if slot.exec_flag:
+            raise RuntimeError(f"slot {slot_index} is already executing")
+        slot.warp_id = warp_id
+        slot.e_num = e_num
+        slot.sm_index = sm_index
+        slot.bar_id = bar_id
+        slot.block_id = block_id
+        slot.exec_flag = True
+
+    def retire(self, slot_index: int) -> None:
+        """Executor-side: mark the warp free (Algorithm 1 line 43)."""
+        slot = self.slots[slot_index]
+        if not slot.exec_flag:
+            raise RuntimeError(f"slot {slot_index} is not executing")
+        slot.exec_flag = False
+        slot.e_num = -1
+        self.free_signal.pulse(slot_index)

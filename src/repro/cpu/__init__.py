@@ -1,0 +1,25 @@
+"""Host CPU model and CPU-side task runtimes.
+
+Models the paper's host machines: the quad-core i7 driving the GPU and
+the two 10-core Xeon E5-2660s the PThreads baseline runs on (§6.1).
+
+- :class:`~repro.cpu.host.HostCpu` — a pool of cores with a task
+  service-time model.
+- :func:`~repro.cpu.pthreads.run_pthreads` — the PThreads task-parallel
+  baseline (best CPU scheme per §6.2).
+- :func:`~repro.cpu.pthreads.run_sequential` — single-core reference;
+  the denominator for the paper's Fig. 5 speedups.
+"""
+
+from repro.cpu.alternatives import run_openmp, run_os_scheduler, run_python_pool
+from repro.cpu.host import HostCpu
+from repro.cpu.pthreads import run_pthreads, run_sequential
+
+__all__ = [
+    "HostCpu",
+    "run_pthreads",
+    "run_sequential",
+    "run_openmp",
+    "run_os_scheduler",
+    "run_python_pool",
+]

@@ -1,0 +1,152 @@
+"""The other three CPU schemes the paper evaluated (§6.2).
+
+"For a fair comparison with the CPU, we implemented OpenMP with data
+parallelism, OS-based task scheduling, Python-based thread pooling,
+and PThreads-based task parallelism.  PThreads obtained the best
+results, which we include in Fig. 5."
+
+These models make that selection reproducible: each captures the
+mechanism that loses on narrow tasks.
+
+- **OpenMP data parallelism**: tasks run one after another; each
+  task's loop is split across all cores with a fork-join barrier —
+  narrow tasks have too little parallelism to amortize the fork/join.
+- **OS-based task scheduling**: every task is handed to the kernel
+  scheduler (futex wake, context switch, cache-cold start) — a much
+  heavier dispatch than a user-level pool.
+- **Python thread pooling**: the GIL serializes execution; the pool
+  only adds switching overhead on top of sequential interpretation
+  (plus the interpreter's own per-op slowdown).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.host import HostCpu
+from repro.gpu.timing import DEFAULT_TIMING, TimingModel
+from repro.sim import Engine
+from repro.tasks import RunStats, TaskResult, TaskSpec
+
+#: fork + join barrier cost of one OpenMP parallel region (team wake,
+#: static-schedule bookkeeping, implicit barrier across 20 threads),
+#: per task
+OMP_FORK_JOIN_NS = 12_000.0
+#: per-chunk loop-scheduling overhead for each participating core
+OMP_CHUNK_NS = 300.0
+#: load imbalance of splitting a narrow loop 20 ways (the slowest
+#: chunk bounds the region)
+OMP_IMBALANCE = 1.3
+#: OS work-item submission (syscall + kernel queue insertion); costs
+#: more than a bare pthread_create since the work item carries its own
+#: kernel bookkeeping
+OS_SUBMIT_NS = 18_000.0
+#: OS dispatch on the worker side: futex wake + context switch +
+#: cache-cold start
+OS_DISPATCH_NS = 20_000.0
+#: CPython: GIL handoff between pool threads
+GIL_SWITCH_NS = 5_000.0
+#: CPython interpreter slowdown vs compiled scalar code
+PYTHON_INTERP_FACTOR = 30.0
+
+
+def run_openmp(tasks: List[TaskSpec], num_cores: int = 20,
+               timing: Optional[TimingModel] = None) -> RunStats:
+    """OpenMP data parallelism: parallelize *within* each task.
+
+    Tasks execute in order (the paper's data-parallel port keeps the
+    outer task loop sequential); each pays a fork-join and splits its
+    work across the cores — but a narrow task's work divided by 20
+    often costs less than the fork-join itself.
+    """
+    timing = timing or DEFAULT_TIMING
+    engine = Engine()
+    cpu = HostCpu(engine, timing, num_cores=num_cores)
+    results: List[TaskResult] = []
+
+    from repro.gpu.phases import Phase
+
+    def parallel_regions(task: TaskSpec) -> int:
+        """Each kernel stage becomes its own ``#pragma omp parallel
+        for`` (a barrier-separated stage cannot share a region)."""
+        return max(1, sum(
+            1 for item in task.warp_phases(0, 0) if isinstance(item, Phase)
+        ))
+
+    def runner():
+        for i, task in enumerate(tasks):
+            res = TaskResult(i, task.name, spawn_time=engine.now)
+            res.sched_time = res.start_time = engine.now
+            regions = parallel_regions(task)
+            yield regions * OMP_FORK_JOIN_NS
+            cost = task.cpu_cost()
+            # work split across cores; the slowest core bounds each
+            # region, and 20-way chunks of a narrow loop land unevenly
+            share = cost.scaled(OMP_IMBALANCE / num_cores)
+            yield regions * OMP_CHUNK_NS + cpu.service_time(share)
+            res.end_time = engine.now
+            results.append(res)
+
+    engine.spawn(runner())
+    makespan = engine.run()
+    return RunStats(runtime=f"openmp-{num_cores}", makespan=makespan,
+                    results=results, compute_time=makespan)
+
+
+def run_os_scheduler(tasks: List[TaskSpec], num_cores: int = 20,
+                     timing: Optional[TimingModel] = None) -> RunStats:
+    """OS-based task scheduling: kernel-level dispatch per task."""
+    timing = timing or DEFAULT_TIMING
+    engine = Engine()
+    cpu = HostCpu(engine, timing, num_cores=num_cores)
+    results: List[TaskResult] = []
+
+    def worker(task: TaskSpec, task_id: int):
+        res = TaskResult(task_id, task.name, spawn_time=engine.now)
+        res.sched_time = engine.now
+        yield cpu.cores.acquire()
+        yield OS_DISPATCH_NS  # futex wake + context switch, on-core
+        res.start_time = engine.now
+        yield cpu.service_time(task.cpu_cost())
+        cpu.cores.release()
+        res.end_time = engine.now
+        results.append(res)
+
+    def submitter():
+        for i, task in enumerate(tasks):
+            yield OS_SUBMIT_NS  # syscall + kernel queue insertion
+            engine.spawn(worker(task, i))
+
+    engine.spawn(submitter())
+    makespan = engine.run()
+    return RunStats(runtime=f"os-sched-{num_cores}", makespan=makespan,
+                    results=results, compute_time=makespan)
+
+
+def run_python_pool(tasks: List[TaskSpec], num_threads: int = 20,
+                    timing: Optional[TimingModel] = None) -> RunStats:
+    """CPython thread pool: the GIL serializes task execution."""
+    timing = timing or DEFAULT_TIMING
+    engine = Engine()
+    # one "core" — the GIL — regardless of the pool size
+    cpu = HostCpu(engine, timing, num_cores=1)
+    results: List[TaskResult] = []
+
+    def worker(task: TaskSpec, task_id: int):
+        res = TaskResult(task_id, task.name, spawn_time=engine.now)
+        res.sched_time = engine.now
+        yield cpu.cores.acquire()  # acquire the GIL
+        yield GIL_SWITCH_NS
+        res.start_time = engine.now
+        cost = task.cpu_cost().scaled(PYTHON_INTERP_FACTOR)
+        yield cpu.service_time(cost)
+        cpu.cores.release()
+        res.end_time = engine.now
+        results.append(res)
+
+    for i, task in enumerate(tasks):
+        engine.spawn(worker(task, i))
+    makespan = engine.run()
+    return RunStats(runtime=f"python-pool-{num_threads}",
+                    makespan=makespan, results=results,
+                    compute_time=makespan)

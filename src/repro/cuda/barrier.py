@@ -1,0 +1,45 @@
+"""Reusable warp-granularity barrier.
+
+Both ``__syncthreads()`` (native CUDA blocks) and Pagoda's named
+barriers (§5.2) synchronize at warp granularity in the model: each warp
+arrival counts for its 32 threads.  The barrier is generation-based so
+it can be reused across loop iterations without re-allocation.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Event
+
+
+class WarpBarrier:
+    """Barrier for ``parties`` warps; reusable across generations."""
+
+    def __init__(self, parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.parties = parties
+        self.name = name
+        self._arrived = 0
+        self._gate = Event()
+        self.generation = 0
+
+    def arrive(self) -> Event:
+        """Register one warp's arrival; returned event fires when all
+        ``parties`` warps of this generation have arrived."""
+        self._arrived += 1
+        gate = self._gate
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._gate = Event()
+            self.generation += 1
+            gate.fire(self.generation)
+        elif self._arrived > self.parties:
+            raise RuntimeError(
+                f"barrier {self.name!r}: more arrivals than parties"
+            )
+        return gate
+
+    @property
+    def waiting(self) -> int:
+        """Warps currently blocked at the barrier."""
+        return self._arrived

@@ -1,0 +1,112 @@
+"""Device global-memory allocator (cudaMalloc / cudaFree).
+
+A first-fit free-list allocator with coalescing on free.  Narrow-task
+host code (Fig. 1a) allocates and frees per task, so the allocator must
+handle many small, short-lived allocations without fragmenting away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class OutOfMemory(RuntimeError):
+    """Raised when a cudaMalloc cannot be satisfied."""
+
+
+class DeviceAllocator:
+    """First-fit allocator over a ``capacity``-byte device heap.
+
+    Allocations are aligned to ``alignment`` bytes (CUDA guarantees at
+    least 256-byte alignment from cudaMalloc).
+    """
+
+    def __init__(self, capacity: int, alignment: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment <= 0 or (alignment & (alignment - 1)):
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        # sorted, disjoint, coalesced (offset, size) free extents
+        self._free: List[Tuple[int, int]] = [(0, capacity)]
+        self._live: Dict[int, int] = {}  # offset -> size
+
+    def _round(self, n: int) -> int:
+        a = self.alignment
+        return -(-n // a) * a
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns the device offset ("pointer")."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        size = self._round(nbytes)
+        for i, (off, extent) in enumerate(self._free):
+            if extent >= size:
+                if extent == size:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + size, extent - size)
+                self._live[off] = size
+                return off
+        raise OutOfMemory(f"cannot allocate {nbytes} bytes "
+                          f"(free={self.free_bytes}, capacity={self.capacity})")
+
+    def free(self, ptr: int) -> None:
+        """Release an allocation; coalesces with adjacent free extents."""
+        size = self._live.pop(ptr, None)
+        if size is None:
+            raise ValueError(f"free() of unknown pointer {ptr}")
+        # insert keeping sort order, then coalesce neighbours
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < ptr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (ptr, size))
+        # coalesce with next
+        if lo + 1 < len(self._free):
+            off, ext = self._free[lo]
+            noff, next_ext = self._free[lo + 1]
+            if off + ext == noff:
+                self._free[lo] = (off, ext + next_ext)
+                del self._free[lo + 1]
+        # coalesce with previous
+        if lo > 0:
+            poff, pext = self._free[lo - 1]
+            off, ext = self._free[lo]
+            if poff + pext == off:
+                self._free[lo - 1] = (poff, pext + ext)
+                del self._free[lo]
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free."""
+        return sum(ext for _off, ext in self._free)
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of outstanding allocations."""
+        return len(self._live)
+
+    @property
+    def largest_free_extent(self) -> int:
+        """Size of the biggest contiguous free block."""
+        return max((ext for _off, ext in self._free), default=0)
+
+    def check_invariants(self) -> None:
+        """Free list is sorted, disjoint, coalesced, and conserves bytes."""
+        prev_end = -1
+        for off, ext in self._free:
+            if ext <= 0:
+                raise AssertionError("empty free extent")
+            if off <= prev_end:
+                raise AssertionError("free list unsorted or overlapping")
+            if off == prev_end:  # pragma: no cover - defensive
+                raise AssertionError("uncoalesced neighbours")
+            prev_end = off + ext
+        used = sum(self._live.values())
+        if used + self.free_bytes != self.capacity:
+            raise AssertionError("byte conservation violated")

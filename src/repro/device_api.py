@@ -1,0 +1,90 @@
+"""Device-side API for functional kernel execution.
+
+Table 1's GPU-side calls — ``getTid``, ``syncBlock``, ``getSMPtr`` —
+are provided here as a per-threadblock context object.  Functional
+kernels are written as staged NumPy code over the block's thread
+vector; ``sync_block()`` separates stages (which a sequential staged
+execution already orders, so it needs no blocking — the *timing* cost
+of barriers is modelled by the timing kernels, not here).
+
+The same context serves native-CUDA functional kernels
+(``tid``/``sync_block`` map to ``threadIdx``-derived ids and
+``__syncthreads``) so one functional implementation validates a
+workload under every runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+#: Alignment Pagoda guarantees for getSMPtr (Table 1: "32-byte aligned").
+SM_PTR_ALIGNMENT = 32
+
+
+class BlockContext:
+    """Execution context of one threadblock of one task.
+
+    Parameters
+    ----------
+    task:
+        The :class:`~repro.tasks.TaskSpec` being executed; ``task.work``
+        is exposed as :attr:`args`.
+    block_id:
+        Threadblock index within the task.
+    shared:
+        Backing buffer for ``getSMPtr`` — under Pagoda a view into the
+        MTB's shared-memory arena at the buddy-allocated offset, under
+        native CUDA a private per-block buffer.  ``None`` when the task
+        requested no shared memory.
+    """
+
+    def __init__(self, task: Any, block_id: int,
+                 shared: Optional[np.ndarray] = None) -> None:
+        self.task = task
+        self.block_id = block_id
+        self.num_threads = task.threads_per_block
+        self.args = task.work
+        self._shared = shared
+        self.sync_count = 0
+
+    def tid(self) -> np.ndarray:
+        """Vector of global thread ids for this block (``getTid``)."""
+        base = self.block_id * self.num_threads
+        return np.arange(base, base + self.num_threads)
+
+    def local_tid(self) -> np.ndarray:
+        """Vector of thread ids within the block (``threadIdx.x``)."""
+        return np.arange(self.num_threads)
+
+    def sync_block(self) -> None:
+        """``syncBlock()`` / ``__syncthreads()`` stage separator."""
+        self.sync_count += 1
+
+    def get_sm_ptr(self) -> np.ndarray:
+        """The block's shared-memory buffer (``getSMPtr``)."""
+        if self._shared is None:
+            raise RuntimeError(
+                f"task {self.task.name!r} requested no shared memory"
+            )
+        return self._shared
+
+
+def run_functional(task: Any, shared_for_block=None) -> None:
+    """Run a task's functional kernel once per threadblock.
+
+    ``shared_for_block`` maps ``block_id`` to the shared buffer the
+    runtime allocated for that block (or ``None``); Pagoda passes buddy
+    arena views, CUDA passes fresh buffers.
+    """
+    if task.func is None:
+        return
+    for block_id in range(task.num_blocks):
+        shared = None
+        if task.shared_mem_bytes:
+            if shared_for_block is not None:
+                shared = shared_for_block(block_id)
+            if shared is None:
+                shared = np.zeros(task.shared_mem_bytes, dtype=np.uint8)
+        task.func(BlockContext(task, block_id, shared))

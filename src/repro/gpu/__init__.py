@@ -1,0 +1,42 @@
+"""GPU hardware model (NVIDIA Maxwell Titan X by default).
+
+Models the machine the paper runs on, at the granularity Pagoda cares
+about: warps, SMM issue bandwidth, shared memory / register occupancy
+accounting, and DRAM bandwidth.  The CUDA *runtime* on top of this
+hardware lives in :mod:`repro.cuda`; Pagoda itself in :mod:`repro.core`.
+
+Public surface:
+
+- :class:`~repro.gpu.spec.GpuSpec` — architectural limits, with
+  :func:`~repro.gpu.spec.titan_x` and :func:`~repro.gpu.spec.tesla_k40`
+  presets.
+- :class:`~repro.gpu.timing.TimingModel` — calibrated cost constants.
+- :func:`~repro.gpu.occupancy.blocks_per_smm` /
+  :func:`~repro.gpu.occupancy.occupancy` — the CUDA occupancy
+  calculator.
+- :class:`~repro.gpu.device.Gpu` and :class:`~repro.gpu.smm.Smm` — the
+  event-driven device.
+- :class:`~repro.gpu.phases.Phase` — one unit of warp work (instructions
+  + memory traffic).
+"""
+
+from repro.gpu.spec import GpuSpec, pascal_gtx1080, tesla_k40, titan_x
+from repro.gpu.timing import TimingModel
+from repro.gpu.occupancy import blocks_per_smm, occupancy, warps_per_block
+from repro.gpu.phases import Phase
+from repro.gpu.smm import Smm
+from repro.gpu.device import Gpu
+
+__all__ = [
+    "GpuSpec",
+    "titan_x",
+    "tesla_k40",
+    "pascal_gtx1080",
+    "TimingModel",
+    "blocks_per_smm",
+    "occupancy",
+    "warps_per_block",
+    "Phase",
+    "Smm",
+    "Gpu",
+]

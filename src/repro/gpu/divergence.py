@@ -1,0 +1,60 @@
+"""SIMT divergence cost helpers.
+
+Warps execute in lockstep: a warp retires only when its deepest lane
+does, so irregular per-lane work inflates warp cost relative to the
+mean.  Irregular workloads (MB's escape-time loop, Table 3's
+"Irregular" rows) use these helpers to turn per-lane work estimates
+into warp costs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gpu.spec import WARP_SIZE
+
+
+def warp_costs_from_lane_work(lane_work: Sequence[float],
+                              warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Per-warp cost = max over each warp's lanes (lockstep retire).
+
+    ``lane_work`` is per-thread work in any unit; threads are grouped
+    into warps in order; a trailing partial warp still costs its max.
+    """
+    lanes = np.asarray(lane_work, dtype=np.float64)
+    if lanes.size == 0:
+        raise ValueError("lane_work must be non-empty")
+    if lanes.min() < 0:
+        raise ValueError("lane work must be non-negative")
+    pad = (-lanes.size) % warp_size
+    if pad:
+        lanes = np.concatenate([lanes, np.zeros(pad)])
+    return lanes.reshape(-1, warp_size).max(axis=1)
+
+
+def divergence_factor(lane_work: Sequence[float],
+                      warp_size: int = WARP_SIZE) -> float:
+    """Lockstep inflation: total warp-cost over perfectly-packed cost.
+
+    1.0 means the lanes are uniform; MB boundary tiles commonly land
+    between 1.3 and 3.
+    """
+    lanes = np.asarray(lane_work, dtype=np.float64)
+    ideal = lanes.sum() / warp_size
+    if ideal <= 0:
+        return 1.0
+    actual = warp_costs_from_lane_work(lanes, warp_size).sum()
+    return float(actual / ideal)
+
+
+def expected_lognormal_divergence(sigma: float, warp_size: int = WARP_SIZE,
+                                  samples: int = 20_000,
+                                  seed: int = 0) -> float:
+    """Monte-Carlo estimate of the divergence factor for lognormally
+    distributed lane work — used to justify the constant in the MB
+    cost model."""
+    rng = np.random.default_rng(seed)
+    lanes = rng.lognormal(0.0, sigma, samples)
+    return divergence_factor(lanes, warp_size)

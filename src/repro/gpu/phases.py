@@ -1,0 +1,66 @@
+"""Units of simulated kernel work.
+
+A task kernel (Pagoda __device__ function or a CUDA __global__ kernel)
+is a generator that yields :class:`Phase` objects — "this warp now
+executes ``inst`` warp-instructions touching ``mem_bytes`` of DRAM" —
+and barrier markers.  The executing runtime (Pagoda executor warp, CUDA
+block context, or CPU core) turns each phase into time on the modelled
+resources.
+
+SIMT semantics live in the *cost models* that produce phases: a
+divergent warp's phase carries the sum of both branch paths' costs, a
+lockstep warp the max over its 32 lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One scheduling quantum of warp work.
+
+    ``inst`` is in warp-instructions (one instruction issued for all 32
+    lanes); ``mem_bytes`` is DRAM traffic attributable to the phase.
+    """
+
+    inst: float
+    mem_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.inst < 0 or self.mem_bytes < 0:
+            raise ValueError("phase costs must be non-negative")
+
+    def scaled(self, factor: float) -> "Phase":
+        """A phase with both costs multiplied by ``factor``."""
+        return Phase(self.inst * factor, self.mem_bytes * factor)
+
+
+class BlockSync:
+    """Marker yielded by kernels to request a threadblock barrier.
+
+    Under native CUDA this is ``__syncthreads()``; under Pagoda it is
+    ``syncBlock()`` on the task's named barrier.  The interpreting
+    runtime supplies the actual synchronization.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "BlockSync()"
+
+
+BLOCK_SYNC = BlockSync()
+
+
+def total_cost(phases) -> Phase:
+    """Fold a phase iterable into one aggregate (for CPU execution,
+    where barriers are free within a sequential task)."""
+    inst = 0.0
+    mem = 0.0
+    for p in phases:
+        if isinstance(p, Phase):
+            inst += p.inst
+            mem += p.mem_bytes
+    return Phase(inst, mem)

@@ -1,0 +1,117 @@
+"""Architectural limits of the modelled GPUs.
+
+Numbers follow §2 of the paper (Maxwell Titan X terminology): 24 SMMs,
+128 CUDA cores per SMM, 64 resident warps, 32 resident threadblocks,
+96 KB shared memory and 64K 32-bit registers per SMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Immutable description of one GPU's resource limits."""
+
+    name: str
+    num_smms: int
+    cores_per_smm: int
+    max_warps_per_smm: int
+    max_blocks_per_smm: int
+    max_threads_per_block: int
+    registers_per_smm: int
+    shared_mem_per_smm: int  # bytes
+    max_shared_mem_per_block: int  # bytes
+    register_alloc_unit: int  # registers rounded up per-warp to this multiple
+    clock_ghz: float
+    dram_bandwidth_gbps: float  # GB/s
+    hyperq_connections: int  # concurrent kernel limit
+
+    def __post_init__(self) -> None:
+        if self.max_threads_per_block % WARP_SIZE != 0:
+            raise ValueError("max_threads_per_block must be a multiple of 32")
+        if self.max_warps_per_smm * WARP_SIZE < self.max_threads_per_block:
+            raise ValueError("an SMM must be able to host a maximal block")
+
+    @property
+    def max_threads_per_smm(self) -> int:
+        """Thread capacity of one SMM (warps x 32)."""
+        return self.max_warps_per_smm * WARP_SIZE
+
+    @property
+    def total_warp_slots(self) -> int:
+        """Denominator of the paper's occupancy metric (64 x #SMMs)."""
+        return self.max_warps_per_smm * self.num_smms
+
+    @property
+    def warp_schedulers_per_smm(self) -> int:
+        """Warp instructions an SMM can issue per cycle (128 cores / 32)."""
+        return self.cores_per_smm // WARP_SIZE
+
+    @property
+    def cycle_ns(self) -> float:
+        """Nanoseconds per clock cycle."""
+        return 1.0 / self.clock_ghz
+
+
+def titan_x() -> GpuSpec:
+    """NVIDIA Maxwell Titan X — the paper's evaluation GPU (§6.1)."""
+    return GpuSpec(
+        name="Maxwell Titan X",
+        num_smms=24,
+        cores_per_smm=128,
+        max_warps_per_smm=64,
+        max_blocks_per_smm=32,
+        max_threads_per_block=1024,
+        registers_per_smm=64 * 1024,
+        shared_mem_per_smm=96 * 1024,
+        max_shared_mem_per_block=48 * 1024,
+        register_alloc_unit=256,
+        clock_ghz=1.0,
+        dram_bandwidth_gbps=336.0,
+        hyperq_connections=32,
+    )
+
+
+def pascal_gtx1080() -> GpuSpec:
+    """Pascal GTX 1080 — a then-future architecture, exercising §7's
+    claim that Pagoda "could be applied to any future GPU hardware
+    that supports the CUDA programming model"."""
+    return GpuSpec(
+        name="Pascal GTX 1080",
+        num_smms=20,
+        cores_per_smm=128,
+        max_warps_per_smm=64,
+        max_blocks_per_smm=32,
+        max_threads_per_block=1024,
+        registers_per_smm=64 * 1024,
+        shared_mem_per_smm=96 * 1024,
+        max_shared_mem_per_block=48 * 1024,
+        register_alloc_unit=256,
+        clock_ghz=1.6,
+        dram_bandwidth_gbps=320.0,
+        hyperq_connections=32,
+    )
+
+
+def tesla_k40() -> GpuSpec:
+    """Kepler Tesla K40 — the second architecture the paper's TaskTable
+    coherence micro-benchmarking covered (§4.2.2)."""
+    return GpuSpec(
+        name="Tesla K40",
+        num_smms=15,
+        cores_per_smm=192,
+        max_warps_per_smm=64,
+        max_blocks_per_smm=16,
+        max_threads_per_block=1024,
+        registers_per_smm=64 * 1024,
+        shared_mem_per_smm=48 * 1024,
+        max_shared_mem_per_block=48 * 1024,
+        register_alloc_unit=256,
+        clock_ghz=0.745,
+        dram_bandwidth_gbps=288.0,
+        hyperq_connections=32,
+    )

@@ -1,0 +1,79 @@
+"""PCIe link with per-transaction overhead and DMA engine serialization.
+
+A transfer costs ``pcie_transaction_ns + bytes / pcie_bandwidth_bpns``
+and holds the direction's single DMA engine for its duration, so many
+small copies queue behind each other — the overhead regime the paper's
+"1 cudamemcopy per task table entry" pipelining (§4.2.1) and lazy
+aggregate copy-backs (§4.2.2) are designed around.  The two directions
+are independent (PCIe is full duplex), letting H2D input copies overlap
+D2H result copies exactly as CUDA streams allow.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator
+
+from repro.gpu.timing import TimingModel
+from repro.sim import Engine, FifoResource, Recorder
+
+
+class Direction(enum.Enum):
+    """Transfer direction over the link."""
+
+    H2D = "host_to_device"
+    D2H = "device_to_host"
+
+
+class PcieBus:
+    """Full-duplex PCIe link with one DMA engine per direction."""
+
+    def __init__(self, engine: Engine, timing: TimingModel) -> None:
+        self.engine = engine
+        self.timing = timing
+        self._engines = {
+            Direction.H2D: FifoResource(engine, 1, "pcie.h2d"),
+            Direction.D2H: FifoResource(engine, 1, "pcie.d2h"),
+        }
+        self.recorder = Recorder()
+        self.bytes_moved = {Direction.H2D: 0, Direction.D2H: 0}
+        self.transactions = {Direction.H2D: 0, Direction.D2H: 0}
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Service time of one transaction of ``nbytes`` (excl. queueing)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return (
+            self.timing.pcie_transaction_ns
+            + nbytes / self.timing.pcie_bandwidth_bpns
+        )
+
+    def transfer(self, nbytes: int, direction: Direction) -> Generator:
+        """Subroutine: perform one cudaMemcpy-style transaction.
+
+        Use as ``yield from bus.transfer(n, Direction.H2D)``.  Returns
+        after the payload is fully delivered.
+        """
+        duration = self.transfer_time(nbytes)
+        dma = self._engines[direction]
+        yield dma.acquire()
+        yield duration
+        dma.release()
+        self.bytes_moved[direction] += nbytes
+        self.transactions[direction] += 1
+        self.recorder.sample(
+            f"transfer.{direction.value}", self.engine.now, float(nbytes)
+        )
+
+    def busy_time(self, direction: Direction) -> float:
+        """Total service time charged so far in one direction.
+
+        Used by Table 3's "% time spent in data copy" measurement.
+        """
+        n = self.transactions[direction]
+        payload = self.bytes_moved[direction] / self.timing.pcie_bandwidth_bpns
+        return n * self.timing.pcie_transaction_ns + payload
+
+    def total_busy_time(self) -> float:
+        """Busy time summed over both bus directions."""
+        return self.busy_time(Direction.H2D) + self.busy_time(Direction.D2H)

@@ -1,0 +1,116 @@
+"""Zero-copy mapped memory with asynchronous store visibility.
+
+Models the volatile, host-mapped device memory the TaskTable lives in
+(§4.2.2: "we marked the TaskTable as volatile, and performed extensive
+micro-benchmarking to ascertain that the in-flight writes by the CPU …
+are visible to the GPU and vice-versa").
+
+Semantics provided:
+
+- a write becomes visible to the other side ``mapped_write_ns`` later;
+- two writes issued *together* (one transaction payload, via
+  :meth:`write_unordered`) may become visible in either order — the
+  §4.2.1 hazard that rules out "copy parameters + ready flag in one
+  cudamemcopy";
+- writes issued as *separate* posted writes (:meth:`write`) stay
+  ordered, which is what the pipelined taskID protocol relies on.
+
+A deterministic ``hazard_reorder`` switch makes the unordered case
+adversarial (flag lands first) so tests can demonstrate the failure the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.gpu.timing import TimingModel
+from repro.sim import Engine, Signal
+
+
+class MappedRegion:
+    """A key-value region mirrored over the bus with visibility latency.
+
+    ``on_change`` is a :class:`~repro.sim.events.Signal` pulsed whenever
+    a remote write lands; pollers (scheduler warps, the host spawner)
+    wait on it instead of burning simulated poll cycles.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        timing: TimingModel,
+        name: str = "",
+        hazard_reorder: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.timing = timing
+        self.name = name
+        self.hazard_reorder = hazard_reorder
+        self._data: Dict[Any, Any] = {}
+        self.on_change = Signal()
+        self.write_count = 0
+
+    # -- reads are local (the region is mapped on both sides) -------------
+
+    def read(self, key: Any, default: Any = None) -> Any:
+        """Read a key from the mapped region (local, immediate)."""
+        return self._data.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    # -- writes ------------------------------------------------------------
+
+    def _land(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self.on_change.pulse(key)
+
+    def write(self, key: Any, value: Any,
+              on_visible: Optional[Callable[[], None]] = None) -> None:
+        """Posted write: visible after ``mapped_write_ns``.
+
+        Successive calls retain program order (posted writes to the same
+        endpoint are ordered on PCIe).
+        """
+        self.write_count += 1
+        delay = self.timing.mapped_write_ns
+
+        def deliver() -> None:
+            self._land(key, value)
+            if on_visible is not None:
+                on_visible()
+
+        self.engine.call_after(delay, deliver)
+
+    def write_local(self, key: Any, value: Any) -> None:
+        """Write by the side that owns the mirror: visible immediately."""
+        self._land(key, value)
+
+    def write_unordered(self, payload: Dict[Any, Any], flag_key: Any,
+                        flag_value: Any) -> None:
+        """One-transaction bulk write of ``payload`` plus a ready flag.
+
+        PCIe gives no intra-payload ordering guarantee, so with
+        ``hazard_reorder`` the flag lands *before* the payload — the
+        §4.2.1 failure mode.  Without it the payload happens to land
+        first (the benign case that makes the bug intermittent on real
+        hardware).
+        """
+        self.write_count += 1
+        base = self.timing.mapped_write_ns
+        if self.hazard_reorder:
+            self.engine.call_after(base * 0.5, lambda: self._land(flag_key, flag_value))
+            self.engine.call_after(
+                base, lambda: [self._land(k, v) for k, v in payload.items()]
+            )
+        else:
+            self.engine.call_after(
+                base * 0.5,
+                lambda: [self._land(k, v) for k, v in payload.items()],
+            )
+            self.engine.call_after(base, lambda: self._land(flag_key, flag_value))
+
+    def snapshot(self) -> Dict[Any, Any]:
+        """Copy of current contents (test/diagnostic aid)."""
+        return dict(self._data)

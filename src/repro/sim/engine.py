@@ -1,0 +1,215 @@
+"""Event loop, simulated clock, and coroutine processes.
+
+The engine is deliberately minimal: a binary heap of ``(time, seq,
+callback)`` entries and a cooperative process abstraction on top.  A
+process is a Python generator; each ``yield`` hands control back to the
+engine together with a *command* describing when to resume:
+
+- a ``float``/``int`` or :class:`Delay` — resume after that much
+  simulated time;
+- an :class:`~repro.sim.events.Event` — resume when the event fires (the
+  event's value becomes the value of the ``yield`` expression);
+- a :class:`Process` — resume when that process terminates (join).
+
+Subroutines are plain generators invoked with ``yield from``; no extra
+machinery is needed, which keeps the per-event overhead low (the whole
+reproduction pushes millions of events through this loop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event
+
+
+class Delay:
+    """Explicit wrapper for a pure time delay command.
+
+    Yielding a bare number does the same thing; the wrapper exists for
+    readability at call sites where a variable could be mistaken for an
+    event.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration!r}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay({self.duration!r})"
+
+
+class Process:
+    """A coroutine being driven by the engine.
+
+    Terminates when the generator returns or raises ``StopIteration``;
+    the generator's return value becomes :attr:`result`.  Other processes
+    can join by yielding the process object.
+    """
+
+    __slots__ = ("engine", "gen", "name", "alive", "result", "_done", "_waiters")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.result: Any = None
+        self._waiters: list = []
+        self._done = False
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self._done = True
+        self.result = result
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            wake(result)
+
+    def _on_done(self, wake: Callable[[Any], None]) -> None:
+        if self._done:
+            wake(self.result)
+        else:
+            self._waiters.append(wake)
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Kill the process.  Used to tear down daemon loops at the end
+        of an experiment (e.g. the MasterKernel's scheduler warps)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._done = True
+        self.gen.close()
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            wake(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """Discrete-event loop with a monotonically advancing clock.
+
+    Time units are nanoseconds by convention throughout the
+    reproduction (one Titan X cycle at 1 GHz == 1 ns), but the engine
+    itself is unit-agnostic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list = []
+        self._seq = 0
+        self._nlive = 0
+        self.event_count = 0
+
+    # -- low-level scheduling -------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn))
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` simulated time units."""
+        self.call_at(self.now + delay, fn)
+
+    # -- processes ------------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process on the next engine step."""
+        proc = Process(self, gen, name)
+        self._nlive += 1
+        self.call_after(0.0, lambda: self._step(proc, None))
+        return proc
+
+    def _step(self, proc: Process, value: Any) -> None:
+        if not proc.alive:
+            self._nlive -= 1
+            return
+        try:
+            command = proc.gen.send(value)
+        except StopIteration as stop:
+            self._nlive -= 1
+            proc._finish(stop.value)
+            return
+        self._dispatch(proc, command)
+
+    def _dispatch(self, proc: Process, command: Any) -> None:
+        if isinstance(command, (int, float)):
+            self.call_after(float(command), lambda: self._step(proc, None))
+        elif isinstance(command, Event):
+            if command.fired:
+                # Bounce through the queue: waiting on a long chain of
+                # already-fired events must not recurse the C stack.
+                self.call_after(0.0, lambda: self._step(proc, command.value))
+            else:
+                command._add_waiter(lambda v: self._step(proc, v))
+        elif isinstance(command, Delay):
+            self.call_after(command.duration, lambda: self._step(proc, None))
+        elif isinstance(command, Process):
+            if command._done:
+                self.call_after(0.0, lambda: self._step(proc, command.result))
+            else:
+                command._on_done(lambda v: self._step(proc, v))
+        else:
+            raise TypeError(
+                f"process {proc.name!r} yielded unsupported command: {command!r}"
+            )
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when the clock would pass
+        ``until``, or after ``max_events`` callbacks (a runaway guard for
+        tests).  Returns the final clock value.
+        """
+        queue = self._queue
+        count = 0
+        while queue:
+            when, _seq, fn = queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(queue)
+            self.now = when
+            fn()
+            count += 1
+            self.event_count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return self.now
+
+    def run_until_idle_processes(self, until: Optional[float] = None) -> float:
+        """Like :meth:`run`, but also stops once no process is alive.
+
+        Daemon loops (e.g. Pagoda's scheduler warps) block on events, so
+        the queue empties naturally; this variant exists for workloads
+        that keep re-arming timers.
+        """
+        queue = self._queue
+        while queue and self._nlive > 0:
+            when, _seq, fn = queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(queue)
+            self.now = when
+            fn()
+            self.event_count += 1
+        return self.now
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires after ``delay``; usable for sleep-with-value."""
+        ev = Event()
+        self.call_after(delay, lambda: ev.fire(value))
+        return ev

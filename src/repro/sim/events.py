@@ -1,0 +1,123 @@
+"""Waitable primitives: one-shot events and broadcast signals.
+
+These carry no reference to the engine; firing an event immediately runs
+the waiters' wake callbacks (which re-enter the engine's ``_step``), so
+wakeups happen at the current simulated instant, preserving causality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+
+class Event:
+    """One-shot waitable.
+
+    A process waits by yielding the event; :meth:`fire` wakes all
+    waiters with the given value.  Firing twice is an error — reuse
+    :class:`Signal` for recurring conditions.
+    """
+
+    __slots__ = ("fired", "value", "_waiters")
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def _add_waiter(self, wake: Callable[[Any], None]) -> None:
+        if self.fired:
+            wake(self.value)
+        else:
+            self._waiters.append(wake)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter with ``value``."""
+        if self.fired:
+            raise RuntimeError("Event fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            wake(value)
+
+
+def any_of(events) -> Event:
+    """One-shot event firing when the *first* of ``events`` fires.
+
+    Value is ``(index, value)`` of the winner.  If several inputs are
+    already fired, the lowest index wins.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("any_of needs at least one event")
+    combined = Event()
+
+    def make_waiter(index):
+        def wake(value):
+            if not combined.fired:
+                combined.fire((index, value))
+        return wake
+
+    for i, ev in enumerate(events):
+        ev._add_waiter(make_waiter(i))
+    return combined
+
+
+def all_of(events) -> Event:
+    """One-shot event firing when *every* input has fired.
+
+    Value is the list of input values, in input order.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("all_of needs at least one event")
+    combined = Event()
+    remaining = [len(events)]
+    values = [None] * len(events)
+
+    def make_waiter(index):
+        def wake(value):
+            values[index] = value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.fire(list(values))
+        return wake
+
+    for i, ev in enumerate(events):
+        ev._add_waiter(make_waiter(i))
+    return combined
+
+
+class Signal:
+    """Reusable broadcast condition.
+
+    ``wait()`` hands back a fresh one-shot :class:`Event` enrolled for
+    the *next* :meth:`pulse`.  This is the building block for
+    "wake me when the TaskTable changes" style polling loops without
+    simulating every idle poll iteration.
+    """
+
+    __slots__ = ("_pending", "pulse_count")
+
+    def __init__(self) -> None:
+        self._pending: List[Event] = []
+        self.pulse_count = 0
+
+    def wait(self) -> Event:
+        """Return an event that fires on the next pulse."""
+        ev = Event()
+        self._pending.append(ev)
+        return ev
+
+    def pulse(self, value: Any = None) -> None:
+        """Wake everything currently waiting."""
+        self.pulse_count += 1
+        pending, self._pending = self._pending, []
+        for ev in pending:
+            ev.fire(value)
+
+    @property
+    def waiter_count(self) -> int:
+        """Events armed for the next pulse."""
+        return len(self._pending)

@@ -1,0 +1,219 @@
+"""Contended resources: FIFO servers, processor sharing, item stores.
+
+:class:`ProcessorSharing` is the workhorse of the hardware model.  An SMM
+issuing warp instructions, the GPU's global-memory crossbar, and the PCIe
+link are all "a pool of rate, fairly shared, with a per-customer cap":
+
+- SMM issue: total rate 4 warp-instructions/cycle, at most 1 per warp;
+- DRAM: total bytes/ns shared by all resident warps;
+- PCIe: total bytes/ns shared by in-flight transfers.
+
+The implementation is event-driven: state only changes on arrival or
+departure, at which point every active job's remaining work is advanced
+by ``elapsed * rate`` and the next completion is (re)scheduled.  Cost is
+O(active jobs) per change, and active jobs are bounded by hardware limits
+(64 warps per SMM), keeping full experiments tractable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Generator, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+_EPS = 1e-9
+#: Minimum timer granularity (1 femtosecond at ns units).  Without a
+#: floor, a job whose remaining work is just above _EPS on a high-rate
+#: pool can compute an ETA smaller than the clock's float ULP — the
+#: timer then re-fires at the *same* instant forever (elapsed == 0, no
+#: work served).  The floor guarantees forward progress at negligible
+#: accuracy cost.
+_MIN_ETA = 1e-3
+
+
+class FifoResource:
+    """``capacity`` identical servers with a FIFO wait queue.
+
+    Models things that are either free or busy: CPU cores in the
+    PThreads pool, HyperQ hardware connections, the DMA copy engine's
+    transaction slot.
+    """
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a server is granted."""
+        ev = Event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.fire(None)
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one server; hands it straight to the queue head."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        if self._waiting:
+            self._waiting.popleft().fire(None)
+        else:
+            self.in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Subroutine: hold one server for ``duration``.
+
+        Use as ``yield from resource.use(t)``.
+        """
+        yield self.acquire()
+        yield duration
+        self.release()
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting for a server."""
+        return len(self._waiting)
+
+
+class ProcessorSharing:
+    """A pool of service rate, fairly shared, with a per-job rate cap.
+
+    ``rate`` is work units per time unit for the whole pool; each job
+    receives ``min(per_job_cap, rate / n_active)``.  ``consume(amount)``
+    returns an event that fires when the job's work has been served.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate: float,
+        per_job_cap: Optional[float] = None,
+        name: str = "",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.engine = engine
+        self.rate = rate
+        self.per_job_cap = per_job_cap if per_job_cap is not None else rate
+        self.name = name
+        self._jobs: Dict[int, list] = {}  # id -> [remaining, Event]
+        self._next_id = 0
+        self._last_update = 0.0
+        self._timer_version = 0
+        # time-weighted busy integral for utilization reporting
+        self._busy_integral = 0.0
+        self._busy_since = 0.0
+
+    # -- internal -------------------------------------------------------------
+
+    def _job_rate(self) -> float:
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        return min(self.per_job_cap, self.rate / n)
+
+    def _advance(self) -> None:
+        """Charge elapsed service time against every active job."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._jobs:
+            served = elapsed * self._job_rate()
+            for job in self._jobs.values():
+                job[0] -= served
+            self._busy_integral += elapsed * min(
+                self.rate, len(self._jobs) * self.per_job_cap
+            )
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        self._timer_version += 1
+        if not self._jobs:
+            return
+        version = self._timer_version
+        job_rate = self._job_rate()
+        shortest = min(job[0] for job in self._jobs.values())
+        eta = max(max(shortest, 0.0) / job_rate, _MIN_ETA)
+        self.engine.call_after(eta, lambda: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # stale timer; a newer reschedule superseded it
+        self._advance()
+        finished = [
+            (jid, job) for jid, job in self._jobs.items() if job[0] <= _EPS
+        ]
+        for jid, _job in finished:
+            del self._jobs[jid]
+        self._reschedule()
+        for _jid, job in finished:
+            job[1].fire(None)
+
+    # -- public ---------------------------------------------------------------
+
+    def consume(self, amount: float) -> Event:
+        """Submit ``amount`` units of work; event fires when served."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event()
+        if amount == 0:
+            ev.fire(None)
+            return ev
+        self._advance()
+        self._next_id += 1
+        self._jobs[self._next_id] = [float(amount), ev]
+        self._reschedule()
+        return ev
+
+    @property
+    def active_jobs(self) -> int:
+        """Jobs currently receiving service."""
+        return len(self._jobs)
+
+    def utilization(self) -> float:
+        """Fraction of the pool's rate used, averaged over elapsed time."""
+        self._advance()
+        total = self.engine.now
+        if total <= 0:
+            return 0.0
+        return self._busy_integral / (self.rate * total)
+
+
+class Store:
+    """Unbounded FIFO item queue with blocking consumers.
+
+    GeMTC's single task FIFO and the host-side spawn queues are Stores.
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event whose value is the next item."""
+        ev = Event()
+        if self._items:
+            ev.fire(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,95 @@
+"""Metric collection: event series and time-weighted values.
+
+Experiments observe the simulation through these recorders rather than
+poking at model internals, which keeps the hardware models free of
+reporting concerns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+class Recorder:
+    """Append-only named series of ``(time, value)`` samples."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def sample(self, name: str, time: float, value: float) -> None:
+        """Append one (time, value) sample to a named series."""
+        self._series.setdefault(name, []).append((time, value))
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """The recorded (time, value) pairs of one series."""
+        return list(self._series.get(name, []))
+
+    def values(self, name: str) -> List[float]:
+        """Just the values of one series, in record order."""
+        return [v for _t, v in self._series.get(name, [])]
+
+    def count(self, name: str) -> int:
+        """Number of samples recorded under a name."""
+        return len(self._series.get(name, []))
+
+    def mean(self, name: str) -> float:
+        """Arithmetic mean of a series' values."""
+        vals = self.values(name)
+        if not vals:
+            raise ValueError(f"no samples for {name!r}")
+        return sum(vals) / len(vals)
+
+    def names(self) -> List[str]:
+        """Sorted names of all recorded series."""
+        return sorted(self._series)
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Used for occupancy: ``set(t, resident_warps)`` on every change, then
+    ``average(t_end)`` gives mean residency over the run.
+    """
+
+    def __init__(self, initial: float = 0.0, start: float = 0.0) -> None:
+        self._value = initial
+        self._last = start
+        self._integral = 0.0
+        self._start = start
+        self.peak = initial
+
+    def set(self, time: float, value: float) -> None:
+        """Set the piecewise-constant value at a time point."""
+        if time < self._last:
+            raise ValueError("time went backwards")
+        self._integral += self._value * (time - self._last)
+        self._value = value
+        self._last = time
+        if value > self.peak:
+            self.peak = value
+
+    def add(self, time: float, delta: float) -> None:
+        """Add a delta to the current value at a time point."""
+        self.set(time, self._value + delta)
+
+    @property
+    def current(self) -> float:
+        """The current (latest) value."""
+        return self._value
+
+    def average(self, end: float) -> float:
+        """Time-weighted average up to ``end``."""
+        span = end - self._start
+        if span <= 0:
+            return self._value
+        return (self._integral + self._value * (end - self._last)) / span
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean; the paper's summary statistic for speedups."""
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,64 @@
+"""Export run results as Chrome trace-event JSON.
+
+Load the output in ``chrome://tracing`` / Perfetto to see each task's
+spawn-to-schedule queueing and execution span — the visual version of
+Fig. 10's latency story.  Works on the :class:`~repro.tasks.RunStats`
+of any runtime in the reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.tasks import RunStats
+
+#: trace-event timestamps are microseconds
+_NS_PER_US = 1e3
+
+
+def chrome_trace_events(stats: RunStats, max_tasks: int = 2000) -> List[Dict]:
+    """Build trace events: one row per task, queueing + execution spans.
+
+    ``max_tasks`` caps output size for huge runs (the viewer chokes on
+    hundreds of thousands of rows).
+    """
+    events: List[Dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "args": {"name": f"runtime: {stats.runtime}"},
+    }]
+    for res in stats.results[:max_tasks]:
+        tid = res.task_id
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": res.name},
+        })
+        if res.sched_time >= res.spawn_time > 0 or res.sched_time > 0:
+            events.append({
+                "name": "queued", "cat": "spawn", "ph": "X", "pid": 0,
+                "tid": tid,
+                "ts": res.spawn_time / _NS_PER_US,
+                "dur": max(res.sched_time - res.spawn_time, 0) / _NS_PER_US,
+                "args": {"task_id": res.task_id},
+            })
+        if res.end_time > res.start_time:
+            events.append({
+                "name": "exec", "cat": "gpu", "ph": "X", "pid": 0,
+                "tid": tid,
+                "ts": res.start_time / _NS_PER_US,
+                "dur": (res.end_time - res.start_time) / _NS_PER_US,
+                "args": {"latency_us": res.latency / _NS_PER_US},
+            })
+    return events
+
+
+def export_chrome_trace(stats: RunStats, path: str,
+                        max_tasks: int = 2000) -> int:
+    """Write the trace JSON; returns the number of events written."""
+    events = chrome_trace_events(stats, max_tasks)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, fh)
+    return len(events)

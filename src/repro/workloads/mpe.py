@@ -1,0 +1,79 @@
+"""Multi-Programmed Environment (MPE): heterogeneous task mix.
+
+Table 4: "we built a multi-programmed benchmark of our own...  we
+chose 1) 3DES and Mandelbrot, which contain irregular computations,
+2) Filterbank, which requires threadblock-level synchronization, and
+3) Matrix multiplication, which uses shared memory.  Each of the
+benchmarks contained 8K tasks, totalling 32K tasks."
+
+Tasks from the four applications are interleaved as they would arrive
+from independent programs on one node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.tasks import TaskSpec
+from repro.workloads.base import REGISTRY, Workload
+from repro.workloads.des3 import DES3
+from repro.workloads.filterbank import FILTERBANK
+from repro.workloads.mandelbrot import MANDELBROT
+from repro.workloads.matmul import MATMUL
+
+#: the four co-scheduled applications (Table 4's MPE recipe)
+MPE_COMPONENTS = (DES3, MANDELBROT, FILTERBANK, MATMUL)
+
+
+class MpeWorkload(Workload):
+    """MPE benchmark: equal parts 3DES, MB, FB, MM, interleaved."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="mpe",
+            description="Multi-programmed mix (3DES + MB + FB + MM)",
+            regs_per_thread=max(w.regs_per_thread for w in MPE_COMPONENTS),
+            needs_sync=True,
+            uses_shared_mem=True,
+        )
+
+    def make_tasks(self, num_tasks: int, threads_per_task: Optional[int] = None,
+                   seed: int = 0, irregular: bool = False,
+                   functional: bool = False) -> List[TaskSpec]:
+        """Build the task list (see Workload.make_tasks)."""
+        per_app = max(1, num_tasks // len(MPE_COMPONENTS))
+        rng = np.random.default_rng(seed)
+        streams = [
+            w.make_tasks(per_app, threads_per_task, seed=seed + 17 * k,
+                         irregular=irregular, functional=functional)
+            for k, w in enumerate(MPE_COMPONENTS)
+        ]
+        # interleave round-robin, as if four programs spawn concurrently
+        mixed: List[TaskSpec] = []
+        for i in range(per_app):
+            for stream in streams:
+                mixed.append(stream[i])
+        # a little arrival jitter between programs: shuffle within
+        # small windows so the global interleave is preserved
+        window = 8
+        for start in range(0, len(mixed) - window + 1, window):
+            perm = rng.permutation(window)
+            mixed[start:start + window] = [mixed[start + i] for i in perm]
+        return mixed
+
+    def make_task(self, index, threads, rng, irregular, functional):
+        """Build one TaskSpec (see Workload.make_task)."""
+        raise NotImplementedError("MPE tasks come from make_tasks")
+
+    def verify_task(self, task: TaskSpec) -> None:
+        """Compare functional output with the reference."""
+        for component in MPE_COMPONENTS:
+            if task.name.startswith(component.name):
+                component.verify_task(task)
+                return
+        raise ValueError(f"unrecognized MPE task {task.name!r}")
+
+
+MPE = REGISTRY.register(MpeWorkload())

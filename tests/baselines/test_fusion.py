@@ -1,0 +1,82 @@
+"""Static fusion baseline tests."""
+
+import pytest
+
+from repro.baselines import run_static_fusion
+from repro.baselines.fusion import fuse_tasks
+from repro.gpu.phases import Phase
+from repro.tasks import TaskSpec
+
+
+def work_kernel(task, block_id, warp_id):
+    """Cost model that adapts to the fused thread shape: total work is
+    fixed per task, split across however many warps the block has."""
+    total_inst = float(task.work)
+    per_warp = total_inst / task.warps_per_block
+    yield Phase(inst=per_warp)
+
+
+def make_tasks(n, total_inst=32_000, **kw):
+    return [
+        TaskSpec(f"t{i}", 128, 1, work_kernel, work=total_inst, **kw)
+        for i in range(n)
+    ]
+
+
+def test_fuse_builds_one_block_per_task():
+    fused = fuse_tasks(make_tasks(10), fused_threads=256)
+    assert fused.num_blocks == 10
+    assert fused.threads_per_block == 256
+    assert fused.warps_per_block == 8
+
+
+def test_fuse_takes_max_resources():
+    tasks = make_tasks(2)
+    tasks[0].shared_mem_bytes = 1024
+    tasks[1].shared_mem_bytes = 8192
+    tasks[0].regs_per_thread = 40
+    fused = fuse_tasks(tasks)
+    assert fused.shared_mem_bytes == 8192
+    assert fused.regs_per_thread == 40
+
+
+def test_fuse_rejects_empty_and_multiblock():
+    with pytest.raises(ValueError):
+        fuse_tasks([])
+    multi = TaskSpec("m", 64, 2, work_kernel, work=100)
+    with pytest.raises(ValueError):
+        fuse_tasks([multi])
+
+
+def test_fused_subtask_work_is_respread_over_256_threads():
+    fused = fuse_tasks(make_tasks(4, total_inst=64_000))
+    phases = list(fused.warp_phases(0, 0))
+    # 64_000 inst over 8 warps -> 8_000 per warp
+    assert phases[0].inst == pytest.approx(8_000)
+
+
+def test_run_static_fusion_completes():
+    stats = run_static_fusion(make_tasks(100))
+    assert stats.runtime == "static-fusion"
+    assert all(r.end_time > 0 for r in stats.results)
+
+
+def test_all_tasks_share_the_kernel_end_time():
+    """Fig. 10's mechanism: per-task latency equals fused-kernel span."""
+    stats = run_static_fusion(make_tasks(50))
+    ends = {r.end_time for r in stats.results}
+    assert len(ends) == 1
+
+
+def test_irregular_work_stretches_every_latency():
+    regular = make_tasks(64, total_inst=8_000)
+    irregular = make_tasks(63, total_inst=8_000) + make_tasks(1, total_inst=4_000_000)
+    fast = run_static_fusion(regular)
+    slow = run_static_fusion(irregular)
+    assert slow.results[0].latency > fast.results[0].latency
+
+
+def test_fusion_makespan_grows_with_task_count():
+    small = run_static_fusion(make_tasks(64))
+    large = run_static_fusion(make_tasks(512))
+    assert large.makespan > small.makespan

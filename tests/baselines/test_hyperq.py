@@ -1,0 +1,68 @@
+"""CUDA-HyperQ baseline runner tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import HyperQConfig, run_hyperq
+from repro.gpu import titan_x
+from repro.gpu.phases import Phase
+from repro.tasks import TaskSpec
+
+
+def const_kernel(inst, mem=0.0):
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=float(inst), mem_bytes=float(mem))
+    return kernel
+
+
+def make_tasks(n, inst=1000, **kw):
+    return [TaskSpec(f"t{i}", 128, 1, const_kernel(inst), **kw)
+            for i in range(n)]
+
+
+def test_all_tasks_complete():
+    stats = run_hyperq(make_tasks(100))
+    assert len(stats.results) == 100
+    assert all(r.end_time > 0 for r in stats.results)
+    assert stats.runtime == "cuda-hyperq"
+
+
+def test_copies_accounted():
+    stats = run_hyperq(make_tasks(10, input_bytes=4096, output_bytes=4096))
+    assert stats.copy_time > 0
+
+
+def test_copy_flags_disable_transfers():
+    config = HyperQConfig(copy_inputs=False, copy_outputs=False)
+    stats = run_hyperq(make_tasks(10, input_bytes=4096, output_bytes=4096),
+                       config=config)
+    assert stats.copy_time == 0
+
+
+def test_occupancy_bounded_by_32_kernels():
+    """§2: 32 concurrent 128-thread tasks -> at most 128 resident
+    warps out of 1536."""
+    stats = run_hyperq(make_tasks(2000, inst=20_000))
+    assert stats.mean_occupancy <= (32 * 4) / (64 * 24) + 1e-9
+
+
+def test_host_launch_cost_serializes_spawns():
+    stats = run_hyperq(make_tasks(50))
+    spawns = sorted(r.spawn_time for r in stats.results)
+    gaps = [b - a for a, b in zip(spawns, spawns[1:])]
+    # each launch costs kernel_launch_ns on the host
+    assert min(gaps) >= 2000.0
+
+
+def test_fewer_streams_serialize_more():
+    tasks = make_tasks(64, inst=50_000)
+    wide = run_hyperq(tasks, config=HyperQConfig(num_streams=32))
+    narrow = run_hyperq(tasks, config=HyperQConfig(num_streams=1))
+    assert narrow.makespan > wide.makespan
+
+
+def test_spawn_gap():
+    stats = run_hyperq(make_tasks(5), config=HyperQConfig(spawn_gap_ns=50_000))
+    spawns = sorted(r.spawn_time for r in stats.results)
+    assert spawns[1] - spawns[0] >= 50_000

@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+A finished Pagoda session is a large cyclic object graph (48 MTBs x 32
+suspended coroutines, signal waiters back-referencing their processes),
+and several hundred tests each build fresh ones.  CPython's cycle
+collector gets there eventually, but under pytest the garbage can pile
+up to gigabytes before a threshold collection triggers — so sweep
+explicitly after each test to keep the suite's footprint flat.
+"""
+
+import gc
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _collect_session_garbage():
+    yield
+    gc.collect()

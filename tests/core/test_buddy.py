@@ -1,0 +1,183 @@
+"""Buddy allocator tests (§5.1), including the paper's worked examples."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BuddyAllocator
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        BuddyAllocator(0)
+    with pytest.raises(ValueError):
+        BuddyAllocator(1000, 512)  # not a multiple
+    with pytest.raises(ValueError):
+        BuddyAllocator(3 * 512, 512)  # leaves not a power of two
+
+
+def test_tree_has_128_nodes_for_paper_config():
+    """§5.1: 'the total number of nodes in the tree is 128' — the 32KB
+    arena with 512B granules gives a 64-leaf tree stored in a 128-slot
+    array (slot 0 unused)."""
+    buddy = BuddyAllocator(32 * 1024, 512)
+    assert len(buddy._marked) == 128
+    assert buddy.levels == 7
+
+
+def test_alloc_8k_marks_node_ancestors_descendants():
+    """Fig. 3: allocating 8K from a free tree."""
+    buddy = BuddyAllocator(32 * 1024, 512)
+    offset = buddy.alloc(8 * 1024)
+    assert offset == 0
+    # 8K level: root 32K (node 1), 16K (2..3), 8K (4..7): first 8K node=4
+    assert buddy.is_marked(4)
+    assert buddy.is_marked(2) and buddy.is_marked(1)  # ancestors
+    assert buddy.is_marked(8) and buddy.is_marked(9)  # descendants
+    assert not buddy.is_marked(5)  # sibling stays free
+
+
+def test_dealloc_4k_unmarks_up_while_sibling_free():
+    """Fig. 4: freeing 4K releases ancestors only when siblings free."""
+    buddy = BuddyAllocator(32 * 1024, 512)
+    a = buddy.alloc(4 * 1024)
+    b = buddy.alloc(4 * 1024)
+    buddy.free(a)
+    buddy.check_invariants()
+    # b's region is intact; a's can be reallocated
+    assert buddy.alloc(4 * 1024) == a
+    buddy.free(a)
+    buddy.free(b)
+    # whole arena available again
+    assert buddy.alloc(32 * 1024) == 0
+
+
+def test_alloc_rounds_to_power_of_two_level():
+    buddy = BuddyAllocator(32 * 1024, 512)
+    buddy.alloc(3 * 512)  # rounds to 2K node
+    assert buddy.allocated_bytes == 2048
+
+
+def test_smallest_granule_is_512():
+    buddy = BuddyAllocator(32 * 1024, 512)
+    buddy.alloc(1)
+    assert buddy.allocated_bytes == 512
+
+
+def test_alloc_too_big_raises():
+    buddy = BuddyAllocator(32 * 1024, 512)
+    with pytest.raises(ValueError):
+        buddy.alloc(64 * 1024)
+    with pytest.raises(ValueError):
+        buddy.alloc(0)
+
+
+def test_alloc_exhaustion_returns_none():
+    buddy = BuddyAllocator(4 * 512, 512)
+    assert buddy.alloc(1024) is not None
+    assert buddy.alloc(1024) is not None
+    assert buddy.alloc(512) is None
+
+
+def test_root_marked_blocks_full_arena():
+    buddy = BuddyAllocator(32 * 1024, 512)
+    buddy.alloc(512)  # marks root as partially allocated
+    assert buddy.alloc(32 * 1024) is None
+
+
+def test_free_unknown_offset_raises():
+    buddy = BuddyAllocator(32 * 1024, 512)
+    with pytest.raises(ValueError):
+        buddy.free(0)
+
+
+def test_allocations_are_disjoint():
+    buddy = BuddyAllocator(32 * 1024, 512)
+    regions = []
+    while True:
+        off = buddy.alloc(2048)
+        if off is None:
+            break
+        regions.append((off, 2048))
+    assert len(regions) == 16  # 32K / 2K
+    regions.sort()
+    for (a, sa), (b, _sb) in zip(regions, regions[1:]):
+        assert a + sa <= b
+    buddy.check_invariants()
+
+
+def test_deferred_dealloc_flow():
+    """§4.3: executors mark, the scheduler flushes before allocating."""
+    buddy = BuddyAllocator(2 * 512, 512)
+    a = buddy.alloc(512)
+    b = buddy.alloc(512)
+    assert buddy.alloc(512) is None
+    buddy.mark_for_dealloc(a)
+    buddy.mark_for_dealloc(b)
+    assert buddy.deferred_count == 2
+    assert buddy.alloc(512) is None  # not freed until flushed
+    assert buddy.flush_deferred() == 2
+    assert buddy.alloc(512) is not None
+
+
+def test_mark_for_dealloc_unknown_offset():
+    buddy = BuddyAllocator(32 * 1024, 512)
+    with pytest.raises(ValueError):
+        buddy.mark_for_dealloc(12345)
+
+
+def test_offsets_are_32_byte_aligned():
+    """getSMPtr must return 32-byte-aligned pointers (Table 1); the
+    512-byte granule guarantees it."""
+    buddy = BuddyAllocator(32 * 1024, 512)
+    for size in (512, 1024, 700, 4096):
+        off = buddy.alloc(size)
+        assert off is not None and off % 32 == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=16 * 1024)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("mark"), st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("flush"), st.just(0)),
+    ),
+    max_size=80,
+))
+def test_invariants_under_random_traffic(ops):
+    """Marked-parent invariant, disjointness, and full recovery."""
+    buddy = BuddyAllocator(32 * 1024, 512)
+    live = []
+    marked = []
+    for op, arg in ops:
+        if op == "alloc":
+            off = buddy.alloc(arg)
+            if off is not None:
+                live.append(off)
+        elif op == "free" and live:
+            buddy.free(live.pop(arg % len(live)))
+        elif op == "mark" and live:
+            off = live.pop(arg % len(live))
+            buddy.mark_for_dealloc(off)
+            marked.append(off)
+        elif op == "flush":
+            buddy.flush_deferred()
+            marked.clear()
+        buddy.check_invariants()
+    buddy.flush_deferred()
+    for off in live:
+        buddy.free(off)
+    buddy.check_invariants()
+    assert buddy.allocated_bytes == 0
+    assert buddy.alloc(32 * 1024) == 0  # tree fully coalesced
+
+
+@given(size=st.integers(min_value=1, max_value=32 * 1024))
+def test_alloc_free_restores_state(size):
+    buddy = BuddyAllocator(32 * 1024, 512)
+    off = buddy.alloc(size)
+    assert off is not None
+    buddy.free(off)
+    assert buddy.free_bytes == 32 * 1024
+    assert not any(buddy._marked)

@@ -1,0 +1,82 @@
+"""Pagoda on the second architecture: Tesla K40 (§4.2.2 mentions the
+TaskTable behaviour was validated on both GPUs)."""
+
+import pytest
+
+from repro.core import PagodaConfig, PagodaSession, run_pagoda
+from repro.core.masterkernel import MTBS_PER_SMM, mtb_arena_bytes
+from repro.gpu import tesla_k40, titan_x
+from repro.gpu.phases import Phase
+from repro.tasks import TaskSpec
+
+
+def const_kernel(inst):
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=float(inst))
+    return kernel
+
+
+def test_arena_sizing_per_architecture():
+    assert mtb_arena_bytes(titan_x()) == 32 * 1024
+    assert mtb_arena_bytes(tesla_k40()) == 16 * 1024
+
+
+def test_masterkernel_fits_on_k40():
+    session = PagodaSession(spec=tesla_k40())
+    assert len(session.master.mtbs) == 15 * MTBS_PER_SMM
+    assert session.master.arena_bytes == 16 * 1024
+    for smm in session.gpu.smms:
+        assert smm.free_warps == 0  # full residency on Kepler too
+        assert smm.free_shared_mem >= 0
+        assert smm.free_registers >= 0
+    session.shutdown()
+
+
+def test_pagoda_runs_end_to_end_on_k40():
+    tasks = [TaskSpec(f"t{i}", 128, 1, const_kernel(1000))
+             for i in range(100)]
+    stats = run_pagoda(tasks, spec=tesla_k40())
+    assert all(r.end_time > 0 for r in stats.results)
+
+
+def test_k40_shared_memory_tasks_respect_smaller_arena():
+    # 16 KB fits the K40 arena exactly; 17 KB cannot
+    ok = [TaskSpec("t", 64, 1, const_kernel(100),
+                   shared_mem_bytes=16 * 1024)]
+    stats = run_pagoda(ok, spec=tesla_k40())
+    assert stats.results[0].end_time > 0
+    too_big = [TaskSpec("t", 64, 1, const_kernel(100),
+                        shared_mem_bytes=17 * 1024)]
+    with pytest.raises(Exception):
+        run_pagoda(too_big, spec=tesla_k40())
+
+
+def test_k40_is_slower_than_titan_x_on_same_work():
+    """Fewer SMMs and a lower clock: the same task set takes longer."""
+    tasks = [TaskSpec(f"t{i}", 128, 1, const_kernel(60_000))
+             for i in range(400)]
+    titan = run_pagoda(tasks, config=PagodaConfig(copy_inputs=False,
+                                                  copy_outputs=False))
+    k40 = run_pagoda(tasks, spec=tesla_k40(),
+                     config=PagodaConfig(copy_inputs=False,
+                                         copy_outputs=False))
+    assert k40.makespan > titan.makespan
+
+
+def test_pagoda_runs_on_pascal():
+    """§7: 'could be applied to any future GPU hardware that supports
+    the CUDA programming model' — Pascal works unmodified."""
+    from repro.gpu import pascal_gtx1080
+    spec = pascal_gtx1080()
+    assert mtb_arena_bytes(spec) == 32 * 1024  # same 96KB layout
+    tasks = [TaskSpec(f"t{i}", 128, 1, const_kernel(50_000))
+             for i in range(200)]
+    pascal = run_pagoda(tasks, spec=spec,
+                        config=PagodaConfig(copy_inputs=False,
+                                            copy_outputs=False))
+    titan = run_pagoda(tasks,
+                       config=PagodaConfig(copy_inputs=False,
+                                           copy_outputs=False))
+    assert all(r.end_time > 0 for r in pascal.results)
+    # 20 SMMs @1.6GHz beat 24 @1.0GHz on compute-bound work
+    assert pascal.makespan < titan.makespan

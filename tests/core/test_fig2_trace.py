@@ -1,0 +1,132 @@
+"""Fig. 2b, step by step: the example execution of task TA.
+
+The paper walks two tasks (TA, TB) through the TaskTable protocol and
+shows each mirror's (ready, sched) pair at every step.  This test
+drives a live session through the same story and asserts the states
+the figure draws, including the CPU/GPU mismatch windows.
+"""
+
+import pytest
+
+from repro.core import PagodaSession
+from repro.core.tasktable import READY_COPIED, READY_FREE, READY_SCHEDULING
+from repro.gpu.phases import Phase
+from repro.tasks import TaskResult, TaskSpec
+
+
+def kernel(task, block_id, warp_id):
+    yield Phase(inst=2000)
+
+
+def make_task(name):
+    return TaskSpec(name, 64, 1, kernel)
+
+
+def test_fig2b_state_sequence():
+    session = PagodaSession()
+    eng, host, table = session.engine, session.host, session.table
+    ra, rb = TaskResult(0, "TA"), TaskResult(1, "TB")
+    ids = {}
+    checkpoints = []
+
+    def snap(label, task_id):
+        col, row = table.id_map[task_id]
+        checkpoints.append((
+            label,
+            table.cpu[col][row].protocol_state(),
+            table.gpu[col][row].protocol_state(),
+        ))
+
+    def spawner():
+        # "New task (TA) spawned.  Task parameters are copied from the
+        # API into TA" — CPU TA becomes (-1, 0), GPU still (0, 0).
+        ta = yield from host.task_spawn(make_task("TA"), ra)
+        ids["TA"] = ta
+        snap("TA filled on CPU", ta)
+        # let TA's entry copy land on the GPU
+        yield 5_000.0
+        snap("TA copied to GPU", ta)
+        # TA is NOT schedulable yet: no successor has vouched for its
+        # parameters (checked here, before TB exists)
+        assert ra.sched_time == 0.0
+        # "New task (TB) is spawned" — its ready field carries TA's
+        # taskID (the pipelining pointer).
+        tb = yield from host.task_spawn(make_task("TB"), rb)
+        ids["TB"] = tb
+        assert table.cpu[table.id_map[tb][0]][table.id_map[tb][1]].ready == ta
+        # let TB's copy land; S2 then promotes TA to (1, 1) and TB to
+        # (-1, 0); S1 schedules TA (clears sched) and TA executes.
+        yield 20_000.0
+        snap("after TB arrival + TA executed", ta)
+        snap("TB waiting for promotion", tb)
+        # TA is done but TB has no successor: it cannot have run yet
+        assert ra.end_time > 0
+        assert rb.end_time == 0.0
+        # "waitAll() call ... copied from GPU to CPU. CPU starts seeing
+        # TA as available."
+        yield from host.wait_all()
+        snap("after waitAll", ta)
+        snap("after waitAll", tb)
+
+    eng.spawn(spawner(), "fig2b")
+    eng.run()
+    session.shutdown()
+
+    states = {(label, i): (cpu, gpu) for i, (label, cpu, gpu)
+              in enumerate(checkpoints)}
+
+    # step 1: CPU mirror holds (-1, 0); GPU mirror still free — the
+    # mismatch window the figure draws
+    label, cpu, gpu = checkpoints[0]
+    assert cpu == (READY_COPIED, 0)
+    assert gpu == (READY_FREE, 0)
+
+    # step 2: TA's parameters landed; both mirrors show (-1, 0)
+    # (schedulability was asserted inside the spawner, pre-TB)
+    label, cpu, gpu = checkpoints[1]
+    assert cpu == (READY_COPIED, 0)
+    assert gpu == (READY_COPIED, 0)
+
+    # step 3: TB's arrival promoted TA -> TA ran to completion: GPU
+    # entry freed (0, 0) while the CPU mirror still shows its stale
+    # pre-completion state
+    label, cpu, gpu = checkpoints[2]
+    assert gpu == (READY_FREE, 0)
+    assert cpu != (READY_FREE, 0)  # CPU hasn't copied back yet
+    assert ra.end_time > 0
+
+    # step 4: TB sits at (-1, 0) on the GPU, waiting for a successor
+    # or the host's finalization
+    label, cpu, gpu = checkpoints[3]
+    assert gpu == (READY_COPIED, 0)
+
+    # step 5: waitAll finalized TB (host promoted the pipeline tail)
+    # and copied everything back: both entries free on both mirrors
+    assert checkpoints[4][1] == (READY_FREE, 0)
+    assert checkpoints[4][2] == (READY_FREE, 0)
+    assert checkpoints[5][1] == (READY_FREE, 0)
+    assert checkpoints[5][2] == (READY_FREE, 0)
+    assert rb.end_time > 0
+    assert host.check(ids["TA"]) and host.check(ids["TB"])
+
+
+def test_ta_only_scheduled_after_tb_spawn():
+    """Fig. 2b's caption: 'TA gets scheduled only after TB is
+    spawned.'"""
+    session = PagodaSession()
+    eng, host = session.engine, session.host
+    ra, rb = TaskResult(0, "TA"), TaskResult(1, "TB")
+
+    def spawner():
+        yield from host.task_spawn(make_task("TA"), ra)
+        yield 30_000.0  # generous window: TA alone must NOT start
+        assert ra.sched_time == 0.0
+        tb_spawn_time = eng.now
+        yield from host.task_spawn(make_task("TB"), rb)
+        yield from host.wait_all()
+        assert ra.sched_time >= tb_spawn_time
+
+    eng.spawn(spawner(), "driver")
+    eng.run()
+    session.shutdown()
+    assert ra.end_time > 0 and rb.end_time > 0

@@ -1,0 +1,101 @@
+"""Host-API edge cases and reclaim-path behaviour."""
+
+import pytest
+
+from repro.core import PagodaConfig, PagodaSession
+from repro.gpu.phases import Phase
+from repro.tasks import TaskResult, TaskSpec
+
+
+def const_kernel(inst):
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=float(inst))
+    return kernel
+
+
+def test_check_unknown_task_id_is_false():
+    session = PagodaSession()
+    assert session.host.check(999) is False
+    session.shutdown()
+
+
+def test_wait_on_unknown_task_raises():
+    """Waiting on a never-issued taskID must fail fast, not spin."""
+    session = PagodaSession()
+    with pytest.raises(KeyError, match="unknown taskID"):
+        # generator raises eagerly on first advance
+        next(session.host.wait(12345))
+    session.shutdown()
+
+
+def test_spawn_count_tracks_spawns():
+    session = PagodaSession()
+    eng, host = session.engine, session.host
+
+    def driver():
+        for i in range(5):
+            yield from host.task_spawn(
+                TaskSpec(f"t{i}", 32, 1, const_kernel(10)),
+                TaskResult(i, "t"))
+
+    eng.spawn(driver())
+    eng.run(until=1e6)
+    assert host.spawn_count == 5
+    session.shutdown()
+
+
+def test_tiny_table_forces_reclaim_cycles():
+    """rows=1 gives 48 entries; 150 tasks force the spawner through
+    the §4.2.2 reclaim path repeatedly."""
+    session = PagodaSession(config=PagodaConfig(rows=1))
+    eng, host, table = session.engine, session.host, session.table
+
+    def driver():
+        for i in range(150):
+            yield from host.task_spawn(
+                TaskSpec(f"t{i}", 32, 1, const_kernel(100)),
+                TaskResult(i, "t"))
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    eng.run()
+    assert len(table.finished) == 150
+    assert table.copy_backs >= 3  # several reclaim rounds happened
+    session.shutdown()
+
+
+def test_finalize_last_is_idempotent():
+    session = PagodaSession()
+    eng, host = session.engine, session.host
+    result = TaskResult(0, "t")
+
+    def driver():
+        yield from host.task_spawn(
+            TaskSpec("t", 32, 1, const_kernel(100)), result)
+        yield 20_000.0
+        yield from host.finalize_last()
+        yield from host.finalize_last()  # second call is a no-op
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    eng.run()
+    assert result.end_time > 0
+    assert host._prev_unpromoted is None
+    session.shutdown()
+
+
+def test_results_default_when_none_passed():
+    session = PagodaSession()
+    eng, host = session.engine, session.host
+    ids = []
+
+    def driver():
+        tid = yield from host.task_spawn(
+            TaskSpec("anon", 32, 1, const_kernel(50)))
+        ids.append(tid)
+        yield from host.wait(tid)
+
+    eng.spawn(driver())
+    eng.run()
+    assert host.check(ids[0])
+    session.shutdown()

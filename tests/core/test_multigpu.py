@@ -1,0 +1,64 @@
+"""Multi-GPU Pagoda extension tests."""
+
+import pytest
+
+from repro.core import PagodaConfig
+from repro.core.multigpu import MultiGpuPagoda, run_multi_gpu_pagoda
+from repro.gpu.phases import Phase
+from repro.tasks import TaskSpec
+
+NO_COPIES = PagodaConfig(copy_inputs=False, copy_outputs=False)
+
+
+def const_kernel(inst):
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=float(inst))
+    return kernel
+
+
+def make_tasks(n, inst=50_000):
+    return [TaskSpec(f"t{i}", 128, 1, const_kernel(inst)) for i in range(n)]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiGpuPagoda(num_gpus=0)
+
+
+def test_all_tasks_complete_across_two_gpus():
+    stats = run_multi_gpu_pagoda(make_tasks(200), num_gpus=2,
+                                 config=NO_COPIES)
+    assert stats.runtime == "pagoda-x2"
+    assert all(r.end_time > 0 for r in stats.results)
+
+
+def test_tasks_spread_over_both_gpus():
+    stats = run_multi_gpu_pagoda(make_tasks(100), num_gpus=2,
+                                 config=NO_COPIES)
+    placements = set(stats.meta["placements"])
+    assert placements == {0, 1}
+
+
+def test_single_gpu_degenerates_to_pagoda():
+    from repro.core import run_pagoda
+    tasks = make_tasks(60)
+    single = run_multi_gpu_pagoda(tasks, num_gpus=1, config=NO_COPIES)
+    baseline = run_pagoda(tasks, config=NO_COPIES)
+    # identical scheduling stack; only collector plumbing differs
+    assert single.makespan == pytest.approx(baseline.makespan, rel=0.2)
+
+
+def test_two_gpus_speed_up_gpu_bound_work():
+    """Heavy narrow tasks that saturate one GPU split ~2x across two."""
+    tasks = make_tasks(600, inst=200_000)
+    one = run_multi_gpu_pagoda(tasks, num_gpus=1, config=NO_COPIES)
+    two = run_multi_gpu_pagoda(tasks, num_gpus=2, config=NO_COPIES)
+    assert two.makespan < one.makespan
+    assert one.makespan / two.makespan > 1.3
+
+
+def test_pick_gpu_prefers_shorter_queue():
+    node = MultiGpuPagoda(num_gpus=3)
+    node._outstanding = [5, 2, 7]
+    assert node.pick_gpu() == 1
+    node.shutdown()

@@ -1,0 +1,55 @@
+"""Named-barrier pool tests (§5.2)."""
+
+import pytest
+
+from repro.core import NamedBarrierPool, PTX_NAMED_BARRIERS
+
+
+def test_ptx_limit_is_16():
+    assert PTX_NAMED_BARRIERS == 16
+    pool = NamedBarrierPool()
+    assert pool.count == 16
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        NamedBarrierPool(0)
+
+
+def test_acquire_unique_ids_until_exhaustion():
+    pool = NamedBarrierPool(4)
+    ids = [pool.acquire(2) for _ in range(4)]
+    assert sorted(ids) == sorted(set(ids))
+    assert pool.acquire(2) is None  # §5.2: only 16 (here 4) barriers
+    assert pool.in_use == 4 and pool.available == 0
+
+
+def test_release_recycles_id():
+    pool = NamedBarrierPool(1)
+    first = pool.acquire(3)
+    pool.release(first)
+    second = pool.acquire(5)
+    assert second == first
+    assert pool.barrier(second).parties == 5  # fresh barrier, new shape
+
+
+def test_barrier_bound_to_id():
+    pool = NamedBarrierPool()
+    bar_id = pool.acquire(7)
+    assert pool.barrier(bar_id).parties == 7
+
+
+def test_barrier_unknown_id_raises():
+    pool = NamedBarrierPool()
+    with pytest.raises(ValueError):
+        pool.barrier(3)
+    with pytest.raises(ValueError):
+        pool.release(3)
+
+
+def test_release_with_waiters_raises():
+    pool = NamedBarrierPool()
+    bar_id = pool.acquire(2)
+    pool.barrier(bar_id).arrive()  # one of two warps waiting
+    with pytest.raises(RuntimeError):
+        pool.release(bar_id)

@@ -1,0 +1,90 @@
+"""Randomized end-to-end schedules: hypothesis generates hostile task
+mixes; every run must complete, keep the invariants, and drain clean.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PagodaConfig, run_pagoda
+from repro.core.masterkernel import MTB_ARENA_BYTES
+from repro.core.runtime import PagodaSession
+from repro.core.validation import check_quiescent, check_session
+from repro.gpu.phases import BLOCK_SYNC, Phase
+from repro.tasks import TaskResult, TaskSpec
+
+task_strategy = st.fixed_dictionaries({
+    "threads": st.integers(min_value=1, max_value=992),
+    "blocks": st.integers(min_value=1, max_value=3),
+    "inst": st.floats(min_value=1.0, max_value=50_000.0),
+    "mem": st.floats(min_value=0.0, max_value=8_192.0),
+    "phases": st.integers(min_value=1, max_value=4),
+    "sync": st.booleans(),
+    "smem": st.sampled_from([0, 0, 512, 2048, 8192, MTB_ARENA_BYTES]),
+    "priority": st.integers(min_value=0, max_value=3),
+})
+
+
+def build_task(index, params):
+    def kernel(task, block_id, warp_id):
+        for _ in range(params["phases"]):
+            yield Phase(inst=params["inst"] / params["phases"],
+                        mem_bytes=params["mem"] / params["phases"])
+            if params["sync"]:
+                yield BLOCK_SYNC
+
+    return TaskSpec(
+        name=f"rand{index}",
+        threads_per_block=params["threads"],
+        num_blocks=params["blocks"],
+        kernel=kernel,
+        needs_sync=params["sync"],
+        shared_mem_bytes=params["smem"],
+        priority=params["priority"],
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    task_params=st.lists(task_strategy, min_size=1, max_size=25),
+    deferred=st.booleans(),
+)
+def test_any_task_mix_completes_and_drains(task_params, deferred):
+    tasks = [build_task(i, p) for i, p in enumerate(task_params)]
+    session = PagodaSession(config=PagodaConfig(
+        deferred_scheduling=deferred))
+    eng, host = session.engine, session.host
+    results = [TaskResult(i, t.name) for i, t in enumerate(tasks)]
+
+    def driver():
+        for task, result in zip(tasks, results):
+            yield from host.task_spawn(task, result)
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    eng.run(max_events=5_000_000)
+    assert len(session.table.finished) == len(tasks), "tasks lost"
+    for result in results:
+        assert result.end_time >= result.start_time >= result.sched_time
+        assert result.sched_time > 0
+    check_session(session)
+    eng.run()  # drain trailing copy-backs
+    check_quiescent(session)
+    session.shutdown()
+
+
+@settings(max_examples=10, deadline=None)
+@given(task_params=st.lists(task_strategy, min_size=2, max_size=12))
+def test_runtimes_agree_on_completion(task_params):
+    """Pagoda and HyperQ both complete any generated mix (HyperQ needs
+    CUDA-legal shapes, so shared memory is stripped and blocks kept
+    within device limits — which the generator already guarantees)."""
+    from repro.baselines import run_hyperq
+    from repro.bench.harness import strip_shared_mem
+
+    tasks = [build_task(i, p) for i, p in enumerate(task_params)]
+    pagoda = run_pagoda(tasks, config=PagodaConfig(copy_inputs=False,
+                                                   copy_outputs=False))
+    hyperq = run_hyperq(strip_shared_mem(tasks))
+    assert len(pagoda.results) == len(hyperq.results) == len(tasks)
+    assert all(r.end_time > 0 for r in pagoda.results)
+    assert all(r.end_time > 0 for r in hyperq.results)

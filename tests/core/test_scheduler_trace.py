@@ -1,0 +1,81 @@
+"""Scheduler-decision tracing."""
+
+from repro.core import PagodaConfig, PagodaSession
+from repro.gpu.phases import Phase
+from repro.tasks import TaskResult, TaskSpec
+
+
+def kernel(task, block_id, warp_id):
+    yield Phase(inst=500)
+
+
+def run_traced(n_tasks=10, **config_kw):
+    session = PagodaSession(config=PagodaConfig(trace_scheduler=True,
+                                                **config_kw))
+    eng, host = session.engine, session.host
+    ids = []
+
+    def driver():
+        for i in range(n_tasks):
+            tid = yield from host.task_spawn(
+                TaskSpec(f"t{i}", 64, 1, kernel), TaskResult(i, "t"))
+            ids.append(tid)
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    eng.run()
+    session.shutdown()
+    return session, ids
+
+
+def test_trace_records_full_lifecycle():
+    session, ids = run_traced(10)
+    trace = session.scheduler_trace
+    # the pipeline tail is promoted by the host's finalization, not a
+    # scheduler warp: n-1 scheduler-side promotions
+    assert trace.count("promote") == 9
+    assert trace.count("schedule") == 10
+    assert trace.count("task_done") == 10
+    # every spawned task appears in the terminal stage
+    assert sorted(trace.values("task_done")) == sorted(ids)
+
+
+def test_trace_event_ordering_per_task():
+    session, ids = run_traced(6)
+    trace = session.scheduler_trace
+    promotes = dict((v, t) for t, v in trace.series("promote"))
+    for tid in ids:
+        t_sched = next(t for t, v in trace.series("schedule") if v == tid)
+        t_done = next(t for t, v in trace.series("task_done") if v == tid)
+        assert t_sched <= t_done
+        if tid in promotes:  # the tail task is host-finalized instead
+            assert promotes[tid] <= t_sched
+
+
+def test_trace_disabled_by_default():
+    session = PagodaSession()
+    assert session.scheduler_trace is None
+    session.shutdown()
+
+
+def test_defer_events_recorded():
+    """A wide flood on the deferred scheduler produces defer events."""
+    session = PagodaSession(config=PagodaConfig(
+        trace_scheduler=True, deferred_scheduling=True))
+    eng, host = session.engine, session.host
+
+    def heavy(task, block_id, warp_id):
+        yield Phase(inst=200_000)
+
+    def driver():
+        for i in range(600):
+            yield from host.task_spawn(
+                TaskSpec(f"t{i}", 256, 1, heavy), TaskResult(i, "t"))
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    eng.run()
+    trace = session.scheduler_trace
+    session.shutdown()
+    assert trace.count("defer") > 0
+    assert trace.count("task_done") == 600

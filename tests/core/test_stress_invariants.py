@@ -1,0 +1,166 @@
+"""Stress and failure-injection tests with mid-run invariant checks."""
+
+import numpy as np
+import pytest
+
+from repro.core import PagodaConfig, PagodaSession
+from repro.core.validation import (
+    InvariantViolation,
+    check_quiescent,
+    check_session,
+)
+from repro.gpu.phases import BLOCK_SYNC, Phase
+from repro.tasks import TaskResult, TaskSpec
+
+
+def const_kernel(inst, mem=0.0):
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=float(inst), mem_bytes=float(mem))
+    return kernel
+
+
+def run_session_with_checks(tasks, check_every_ns, config=None):
+    """Drive a session, validating invariants at a fixed cadence."""
+    session = PagodaSession(config=config or PagodaConfig())
+    eng, host = session.engine, session.host
+    results = [TaskResult(i, t.name) for i, t in enumerate(tasks)]
+
+    def driver():
+        for t, r in zip(tasks, results):
+            yield from host.task_spawn(t, r)
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    deadline = 0.0
+    while True:
+        deadline += check_every_ns
+        eng.run(until=deadline)
+        check_session(session)
+        if len(session.table.finished) >= len(tasks):
+            break
+        assert deadline < 1e10, "stress run did not converge"
+    eng.run()
+    check_quiescent(session)
+    session.shutdown()
+    return results
+
+
+def test_mixed_stress_with_midrun_checks():
+    """A hostile mix: sync, shared memory, multi-block, irregular
+    sizes — invariants checked every 20 simulated microseconds."""
+    rng = np.random.default_rng(3)
+    tasks = []
+    for i in range(150):
+        kind = i % 4
+        if kind == 0:
+            tasks.append(TaskSpec(f"plain{i}", 32 * int(rng.integers(1, 9)),
+                                  1, const_kernel(rng.integers(100, 5000))))
+        elif kind == 1:
+            tasks.append(TaskSpec(f"sync{i}", 128, 2,
+                                  sync_heavy_kernel, needs_sync=True))
+        elif kind == 2:
+            tasks.append(TaskSpec(f"smem{i}", 64, 1, const_kernel(800),
+                                  shared_mem_bytes=int(rng.choice(
+                                      [512, 2048, 8192, 16384]))))
+        else:
+            tasks.append(TaskSpec(f"both{i}", 96, 2, sync_heavy_kernel,
+                                  needs_sync=True, shared_mem_bytes=4096))
+    results = run_session_with_checks(tasks, check_every_ns=20_000)
+    assert all(r.end_time > 0 for r in results)
+
+
+def sync_heavy_kernel(task, block_id, warp_id):
+    for _ in range(3):
+        yield Phase(inst=200.0 * (warp_id + 1))
+        yield BLOCK_SYNC
+    yield Phase(inst=50.0)
+
+
+def test_barrier_pool_exhaustion_and_recycling():
+    """A 40-block single-warp sync task: up to 31 concurrent blocks
+    need barrier IDs but only 16 exist (§5.2) — the scheduler must
+    stall and recycle without deadlock or leak."""
+    tasks = [TaskSpec("storm", 32, 40, sync_heavy_kernel, needs_sync=True)]
+    results = run_session_with_checks(tasks, check_every_ns=50_000)
+    assert results[0].end_time > 0
+
+
+def test_shared_memory_thrash():
+    """Allocation sizes that fragment the buddy tree, interleaved."""
+    rng = np.random.default_rng(9)
+    tasks = [
+        TaskSpec(f"t{i}", 32, 1, const_kernel(int(rng.integers(50, 3000))),
+                 shared_mem_bytes=int(rng.choice(
+                     [512, 1024, 1536, 4096, 12288, 32 * 1024])))
+        for i in range(200)
+    ]
+    results = run_session_with_checks(tasks, check_every_ns=25_000)
+    assert all(r.end_time > 0 for r in results)
+
+
+def test_failing_kernel_surfaces_cleanly():
+    """A kernel that raises mid-phase must propagate, not hang."""
+    def bad_kernel(task, block_id, warp_id):
+        yield Phase(inst=100)
+        raise ValueError("injected kernel fault")
+
+    session = PagodaSession()
+    eng, host = session.engine, session.host
+
+    def driver():
+        yield from host.task_spawn(TaskSpec("bad", 32, 1, bad_kernel),
+                                   TaskResult(0, "bad"))
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    with pytest.raises(ValueError, match="injected kernel fault"):
+        eng.run()
+    session.shutdown()
+
+
+def test_invariant_checker_detects_corruption():
+    """The validator itself must catch planted violations."""
+    session = PagodaSession()
+    mtb = session.master.mtbs[0]
+    mtb.warptable.dispatch(0, warp_id=0, e_num=0, sm_index=0,
+                           bar_id=-1, block_id=0)
+    # exec slot points at an entry with no spec -> violation
+    with pytest.raises(InvariantViolation):
+        check_session(session)
+    session.shutdown()
+
+
+def test_quiescence_checker_detects_leak():
+    session = PagodaSession()
+    mtb = session.master.mtbs[0]
+    mtb.buddy.alloc(1024)  # leaked allocation
+    with pytest.raises(InvariantViolation, match="leak"):
+        check_quiescent(session)
+    session.shutdown()
+
+
+def test_lost_wakeup_regression_full_arena_sync_task():
+    """Regression (found by hypothesis): a 2-block sync task demanding
+    the whole 32KB arena used to deadlock when block 0's last warp
+    retired inside the scheduler's alloc-cost window — the free_signal
+    pulse was lost because the wait was armed after the failed alloc.
+    """
+    from repro.core import run_pagoda, PagodaConfig
+
+    def kernel(task, block_id, warp_id):
+        for _ in range(4):
+            yield Phase(inst=11_000.0, mem_bytes=700.0)
+            yield BLOCK_SYNC
+
+    tasks = [
+        # the killer: full-arena, multi-block, synchronizing
+        TaskSpec("arena-hog", 192, 2, kernel, needs_sync=True,
+                 shared_mem_bytes=32 * 1024),
+        # companions that keep the MTBs churning
+        TaskSpec("wide", 992, 3, kernel, needs_sync=True,
+                 shared_mem_bytes=2048),
+        TaskSpec("plain", 538, 3, const_kernel(1.1)),
+    ]
+    stats = run_pagoda(tasks, config=PagodaConfig(
+        copy_inputs=False, copy_outputs=False))
+    assert all(r.end_time > 0 for r in stats.results)

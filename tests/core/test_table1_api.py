@@ -1,0 +1,115 @@
+"""Table 1 façade: the paper's exact API names, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import PagodaConfig, PagodaSession
+from repro.core.api import PagodaApi, getSMPtr, getTid, syncBlock
+from repro.gpu.phases import BLOCK_SYNC, Phase
+
+
+def filter_kernel(task, block_id, warp_id):
+    """Timing kernel shaped like Fig. 1c's gpufilter."""
+    yield Phase(inst=500, mem_bytes=256)
+    yield BLOCK_SYNC
+    yield Phase(inst=300)
+
+
+def test_fig1a_host_code_shape():
+    """The paper's host flow: taskSpawn -> wait -> check."""
+    session = PagodaSession()
+    api = PagodaApi(session)
+    log = []
+
+    def host_program():
+        # taskSpawn(256, 1, 0, True, &gpufilter, args...) -- Fig. 1a
+        task_id = yield from api.taskSpawn(
+            numThreads=256, numThreadblocks=1, sharedMemory=0,
+            syncFlag=True, kernel=filter_kernel,
+        )
+        log.append(("spawned", task_id, api.check(task_id)))
+        yield from api.wait(task_id)
+        log.append(("waited", api.check(task_id)))
+
+    session.engine.spawn(host_program())
+    session.engine.run()
+    session.shutdown()
+    assert log[0][2] is False  # not done right after spawn
+    assert log[1] == ("waited", True)
+    task_id = log[0][1]
+    assert api.result(task_id).end_time > 0
+
+
+def plain_kernel(task, block_id, warp_id):
+    yield Phase(inst=500, mem_bytes=256)
+
+
+def test_waitall_many_tasks():
+    session = PagodaSession()
+    api = PagodaApi(session)
+    ids = []
+
+    def host_program():
+        for _ in range(20):
+            tid = yield from api.taskSpawn(64, 1, 0, False, plain_kernel)
+            ids.append(tid)
+        yield from api.waitAll()
+
+    session.engine.spawn(host_program())
+    session.engine.run()
+    session.shutdown()
+    assert all(api.check(t) for t in ids)
+
+
+def test_device_api_functions():
+    """getTid / syncBlock / getSMPtr against the real device context,
+    through a functional Pagoda run."""
+    session = PagodaSession(config=PagodaConfig(functional=True))
+    api = PagodaApi(session)
+    out = np.zeros(64, dtype=np.int64)
+
+    def device_func(ctx):
+        tid = getTid(ctx)  # Table 1: "Get the thread Id"
+        sm = getSMPtr(ctx)  # "Get shared mem pointer"
+        view = sm[: 64 * 8].view(np.int64)
+        view[:] = tid * 3
+        syncBlock(ctx)  # "Synchronize all threads in the block"
+        out[:] = view
+
+    def host_program():
+        tid = yield from api.taskSpawn(
+            64, 1, sharedMemory=1024, syncFlag=True,
+            kernel=filter_kernel, func=device_func,
+        )
+        yield from api.wait(tid)
+
+    session.engine.spawn(host_program())
+    session.engine.run()
+    session.shutdown()
+    np.testing.assert_array_equal(out, np.arange(64) * 3)
+
+
+def test_sm_ptr_alignment_contract():
+    """Table 1: getSMPtr returns a 32-byte aligned pointer — buddy
+    offsets are 512-byte granules, so every offset satisfies it."""
+    from repro.core import BuddyAllocator
+    buddy = BuddyAllocator()
+    for size in (512, 1024, 3000, 8192):
+        off = buddy.alloc(size)
+        assert off % 32 == 0
+
+
+def test_sync_without_flag_is_diagnosed():
+    """A kernel that calls syncBlock() while the task was spawned
+    without the sync flag must fail loudly, not corrupt barriers."""
+    session = PagodaSession()
+    api = PagodaApi(session)
+
+    def host_program():
+        yield from api.taskSpawn(64, 1, 0, False, filter_kernel)
+        yield from api.waitAll()
+
+    session.engine.spawn(host_program())
+    with pytest.raises(RuntimeError, match="sync flag"):
+        session.engine.run()
+    session.shutdown()

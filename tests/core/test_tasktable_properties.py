@@ -1,0 +1,135 @@
+"""Property-based tests of the TaskTable protocol under random
+interleavings of spawns, deliveries, completions, and copy-backs."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import READY_FREE, TaskTable
+from repro.gpu.phases import Phase
+from repro.gpu.timing import DEFAULT_TIMING
+from repro.pcie import PcieBus
+from repro.sim import Engine
+from repro.tasks import TaskResult, TaskSpec
+
+
+def noop_kernel(task, block_id, warp_id):
+    yield Phase(inst=1)
+
+
+class TaskTableMachine(RuleBasedStateMachine):
+    """Drives the table through the host/GPU state transitions of
+    Fig. 2 in arbitrary order and checks the protocol's safety
+    invariants after every step."""
+
+    @initialize()
+    def setup(self):
+        self.engine = Engine()
+        self.bus = PcieBus(self.engine, DEFAULT_TIMING)
+        self.table = TaskTable(self.engine, self.bus, num_columns=3, rows=2)
+        self.spawned = []      # task_ids filled on the CPU side
+        self.delivered = []    # task_ids whose entry copy landed
+        self.running = []      # task_ids promoted and schedulable
+        self.completed = []    # task_ids the GPU finished
+        self.prev_unpromoted = None
+
+    # -- host actions -----------------------------------------------------
+
+    @rule()
+    def spawn(self):
+        loc = self.table.take_free_entry()
+        if loc is None:
+            return
+        col, row = loc
+        spec = TaskSpec(f"t{len(self.spawned)}", 32, 1, noop_kernel)
+        tid = self.table.fill_cpu_entry(
+            col, row, spec, TaskResult(0, spec.name), self.prev_unpromoted
+        )
+        self.prev_unpromoted = tid
+        self.spawned.append(tid)
+
+    @precondition(lambda self: len(self.delivered) < len(self.spawned))
+    @rule()
+    def deliver_next_entry(self):
+        """Entry copies land in spawn order (PCIe posted writes)."""
+        tid = self.spawned[len(self.delivered)]
+        col, row = self.table.id_map[tid]
+        src, dst = self.table.cpu[col][row], self.table.gpu[col][row]
+        dst.spec, dst.result = src.spec, src.result
+        dst.task_id, dst.ready, dst.sched = src.task_id, src.ready, 0
+        src.inflight = False
+        self.delivered.append(tid)
+
+    @rule()
+    def copy_back(self):
+        gen = self.table.copy_back()
+        self.engine.spawn(gen)
+        self.engine.run()
+
+    # -- GPU scheduler actions ------------------------------------------------
+
+    @rule()
+    def promote(self):
+        """A scheduler warp resolves a pipelining pointer."""
+        for tid in list(self.delivered):
+            col, row = self.table.id_map[tid]
+            entry = self.table.gpu[col][row]
+            if entry.task_id == tid and entry.ready > 1:
+                prev_id = entry.ready
+                pcol, prow = self.table.id_map[prev_id]
+                prev = self.table.gpu[pcol][prow]
+                if prev.task_id == prev_id and prev.ready == -1:
+                    prev.ready, prev.sched = 1, 1
+                    entry.ready = -1
+                    self.running.append(prev_id)
+                    return
+
+    @rule()
+    def complete_running(self):
+        if not self.running:
+            return
+        tid = self.running.pop(0)
+        col, row = self.table.id_map[tid]
+        self.table.gpu_complete(col, row)
+        self.completed.append(tid)
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def cpu_only_spawns_into_free_entries(self):
+        """No two live tasks share an entry: every spawned-but-not-
+        host-observed task has a unique (col,row)."""
+        live = [t for t in self.spawned if t not in self.table.finished]
+        locations = [self.table.id_map[t] for t in live]
+        assert len(locations) == len(set(locations))
+
+    @invariant()
+    def finished_set_only_contains_completed(self):
+        assert self.table.finished <= set(self.completed)
+
+    @invariant()
+    def free_entries_really_free(self):
+        """Anything the host would hand out as free has ready == 0."""
+        for col, row in self.table._cpu_free:
+            entry = self.table.cpu[col][row]
+            live = (entry.task_id not in self.table.finished
+                    and entry.task_id in self.spawned)
+            if entry.ready != READY_FREE:
+                assert not live or entry.task_id in self.completed
+
+    @invariant()
+    def gpu_never_runs_unspawned_tasks(self):
+        assert set(self.running) <= set(self.delivered)
+        assert set(self.completed) <= set(self.spawned)
+
+
+TestTaskTableProtocol = TaskTableMachine.TestCase
+TestTaskTableProtocol.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

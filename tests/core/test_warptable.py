@@ -1,0 +1,82 @@
+"""WarpTable tests (§4.1, Table 2)."""
+
+import pytest
+
+from repro.core import WarpTable
+
+
+def test_default_has_31_executor_slots():
+    """§4.1: one scheduler warp + 31 executor warps per 32-warp MTB."""
+    assert len(WarpTable()) == 31
+
+
+def test_slots_validation():
+    with pytest.raises(ValueError):
+        WarpTable(0)
+
+
+def test_dispatch_fills_table2_fields():
+    wt = WarpTable(4)
+    wt.dispatch(2, warp_id=5, e_num=7, sm_index=1024, bar_id=3, block_id=1)
+    slot = wt.slots[2]
+    assert slot.warp_id == 5
+    assert slot.e_num == 7
+    assert slot.sm_index == 1024
+    assert slot.bar_id == 3
+    assert slot.block_id == 1
+    assert slot.exec_flag
+
+
+def test_dispatch_to_busy_slot_raises():
+    wt = WarpTable(2)
+    wt.dispatch(0, 0, 0, 0, -1, 0)
+    with pytest.raises(RuntimeError):
+        wt.dispatch(0, 1, 0, 0, -1, 0)
+
+
+def test_retire_frees_slot_and_pulses():
+    wt = WarpTable(2)
+    wt.dispatch(1, 0, 3, 0, -1, 0)
+    assert wt.busy_count == 1
+    pulses = []
+    wt.free_signal.wait()._add_waiter(pulses.append)
+    wt.retire(1)
+    assert wt.busy_count == 0
+    assert pulses == [1]
+    assert wt.slots[1].e_num == -1
+
+
+def test_retire_idle_slot_raises():
+    wt = WarpTable(2)
+    with pytest.raises(RuntimeError):
+        wt.retire(0)
+
+
+def test_free_slots_listing():
+    wt = WarpTable(3)
+    assert wt.free_slots() == [0, 1, 2]
+    wt.dispatch(1, 0, 0, 0, -1, 0)
+    assert wt.free_slots() == [0, 2]
+
+
+def test_warptable_random_dispatch_retire_fuzz():
+    """Conservation under random traffic: busy_count always equals
+    dispatched-minus-retired, and no slot is double-booked."""
+    import numpy as np
+
+    rng = np.random.default_rng(12)
+    wt = WarpTable(8)
+    busy = set()
+    for _ in range(500):
+        if busy and (len(busy) == 8 or rng.random() < 0.5):
+            slot = int(rng.choice(sorted(busy)))
+            wt.retire(slot)
+            busy.discard(slot)
+        else:
+            free = wt.free_slots()
+            slot = int(rng.choice(free))
+            wt.dispatch(slot, warp_id=0, e_num=1, sm_index=0,
+                        bar_id=-1, block_id=0)
+            busy.add(slot)
+        assert wt.busy_count == len(busy)
+        assert set(wt.free_slots()) == set(range(8)) - busy

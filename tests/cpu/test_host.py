@@ -1,0 +1,73 @@
+"""Tests for the host CPU core model."""
+
+import pytest
+
+from repro.cpu import HostCpu
+from repro.gpu.phases import Phase
+from repro.gpu.timing import TimingModel
+from repro.sim import Engine
+
+TIMING = TimingModel(cpu_core_warpinst_per_ns=0.5, cpu_mem_bandwidth_bpns=10.0)
+
+
+def test_num_cores_validation():
+    with pytest.raises(ValueError):
+        HostCpu(Engine(), TIMING, num_cores=0)
+
+
+def test_service_time_compute_bound():
+    cpu = HostCpu(Engine(), TIMING, 4)
+    # 100 inst at 0.5/ns -> 200 ns; memory 100/10=10ns -> max is 200
+    assert cpu.service_time(Phase(100, 100)) == pytest.approx(200.0)
+
+
+def test_service_time_memory_bound():
+    cpu = HostCpu(Engine(), TIMING, 4)
+    # 10 inst -> 20 ns compute; 10_000 bytes -> 1000 ns memory
+    assert cpu.service_time(Phase(10, 10_000)) == pytest.approx(1000.0)
+
+
+def test_run_task_holds_one_core():
+    eng = Engine()
+    cpu = HostCpu(eng, TIMING, 1)
+    done = []
+
+    def proc(tag):
+        yield from cpu.run_task(Phase(50, 0))
+        done.append((tag, eng.now))
+
+    eng.spawn(proc("a"))
+    eng.spawn(proc("b"))
+    eng.run()
+    assert dict(done) == {"a": pytest.approx(100.0), "b": pytest.approx(200.0)}
+
+
+def test_run_task_dispatch_overhead():
+    eng = Engine()
+    cpu = HostCpu(eng, TIMING, 1)
+    done = []
+
+    def proc():
+        yield from cpu.run_task(Phase(50, 0), dispatch_overhead=25.0)
+        done.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run()
+    assert done == [pytest.approx(125.0)]
+
+
+def test_parallel_speedup_matches_core_count():
+    def run(cores, n_tasks):
+        eng = Engine()
+        cpu = HostCpu(eng, TIMING, cores)
+
+        def proc():
+            yield from cpu.run_task(Phase(100, 0))
+
+        for _ in range(n_tasks):
+            eng.spawn(proc())
+        return eng.run()
+
+    serial = run(1, 8)
+    parallel = run(4, 8)
+    assert serial / parallel == pytest.approx(4.0)

@@ -1,0 +1,84 @@
+"""Tests for the PThreads and sequential CPU baselines."""
+
+import pytest
+
+from repro.cpu import run_pthreads, run_sequential
+from repro.gpu.phases import Phase
+from repro.gpu.timing import TimingModel
+from repro.tasks import TaskSpec
+
+TIMING = TimingModel(
+    cpu_core_warpinst_per_ns=1.0,
+    cpu_mem_bandwidth_bpns=1000.0,
+    pthread_dispatch_ns=0.0,
+    pthread_create_ns=0.0,
+)
+
+
+def fixed_kernel(task, block_id, warp_id):
+    yield Phase(inst=1000)
+
+
+def make_tasks(n):
+    return [
+        TaskSpec(name=f"t{i}", threads_per_block=32, num_blocks=1,
+                 kernel=fixed_kernel)
+        for i in range(n)
+    ]
+
+
+def test_sequential_makespan_is_sum():
+    stats = run_sequential(make_tasks(10), timing=TIMING)
+    assert stats.makespan == pytest.approx(10_000.0)
+    assert len(stats.results) == 10
+    assert stats.runtime == "sequential"
+
+
+def test_pthreads_scales_with_cores():
+    tasks = make_tasks(20)
+    seq = run_sequential(tasks, timing=TIMING)
+    par = run_pthreads(tasks, num_cores=20, timing=TIMING)
+    assert par.speedup_over(seq) == pytest.approx(20.0)
+
+
+def test_pthreads_dispatch_overhead_charged():
+    timing = TimingModel(
+        cpu_core_warpinst_per_ns=1.0,
+        cpu_mem_bandwidth_bpns=1000.0,
+        pthread_dispatch_ns=500.0,
+        pthread_create_ns=0.0,
+    )
+    stats = run_pthreads(make_tasks(4), num_cores=1, timing=timing)
+    assert stats.makespan == pytest.approx(4 * (1000 + 500))
+
+
+def test_pthreads_results_have_latencies():
+    stats = run_pthreads(make_tasks(4), num_cores=2, timing=TIMING)
+    lats = sorted(r.latency for r in stats.results)
+    # two waves of two tasks: first wave 1000ns latency, second 2000ns
+    assert lats == [pytest.approx(1000.0)] * 2 + [pytest.approx(2000.0)] * 2
+
+
+def test_pthreads_spawn_gap_spaces_arrivals():
+    stats = run_pthreads(make_tasks(3), num_cores=3, timing=TIMING,
+                         spawn_gap_ns=100.0)
+    spawns = sorted(r.spawn_time for r in stats.results)
+    assert spawns == [100.0, 200.0, 300.0]
+
+
+def test_irregular_tasks_load_balance():
+    """A pool keeps cores busy despite skewed task sizes."""
+    def skewed_kernel_factory(n):
+        def kernel(task, block_id, warp_id):
+            yield Phase(inst=float(n))
+        return kernel
+
+    tasks = [
+        TaskSpec(name=f"t{i}", threads_per_block=32, num_blocks=1,
+                 kernel=skewed_kernel_factory(100 if i % 2 else 1900))
+        for i in range(20)
+    ]
+    stats = run_pthreads(tasks, num_cores=2, timing=TIMING)
+    total_work = 10 * 100 + 10 * 1900
+    # perfect balance would be total/2; allow some slack for FIFO order
+    assert stats.makespan <= total_work / 2 + 1900

@@ -1,0 +1,109 @@
+"""DeviceAllocator tests, including a property-based workout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda import DeviceAllocator, OutOfMemory
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DeviceAllocator(0)
+    with pytest.raises(ValueError):
+        DeviceAllocator(1024, alignment=3)
+    with pytest.raises(ValueError):
+        DeviceAllocator(1024, alignment=0)
+
+
+def test_malloc_returns_aligned_offsets():
+    alloc = DeviceAllocator(4096, alignment=256)
+    a = alloc.malloc(1)
+    b = alloc.malloc(100)
+    assert a % 256 == 0 and b % 256 == 0
+    assert b - a >= 256
+
+
+def test_malloc_rejects_nonpositive():
+    alloc = DeviceAllocator(4096)
+    with pytest.raises(ValueError):
+        alloc.malloc(0)
+
+
+def test_out_of_memory():
+    alloc = DeviceAllocator(1024, alignment=256)
+    alloc.malloc(1024)
+    with pytest.raises(OutOfMemory):
+        alloc.malloc(1)
+
+
+def test_free_unknown_pointer():
+    alloc = DeviceAllocator(1024)
+    with pytest.raises(ValueError):
+        alloc.free(0)
+
+
+def test_free_reclaims_space():
+    alloc = DeviceAllocator(1024, alignment=256)
+    ptr = alloc.malloc(1024)
+    alloc.free(ptr)
+    assert alloc.free_bytes == 1024
+    assert alloc.malloc(1024) == ptr
+
+
+def test_coalescing_reassembles_heap():
+    alloc = DeviceAllocator(4 * 256, alignment=256)
+    ptrs = [alloc.malloc(256) for _ in range(4)]
+    # free out of order: middle ones first
+    alloc.free(ptrs[1])
+    alloc.free(ptrs[2])
+    alloc.free(ptrs[0])
+    alloc.free(ptrs[3])
+    assert alloc.largest_free_extent == 4 * 256
+    alloc.check_invariants()
+
+
+def test_first_fit_reuses_freed_hole():
+    alloc = DeviceAllocator(3 * 256, alignment=256)
+    a = alloc.malloc(256)
+    alloc.malloc(256)
+    alloc.free(a)
+    assert alloc.malloc(256) == a
+
+
+def test_live_allocations_counter():
+    alloc = DeviceAllocator(4096, alignment=256)
+    p = alloc.malloc(10)
+    q = alloc.malloc(10)
+    assert alloc.live_allocations == 2
+    alloc.free(p)
+    alloc.free(q)
+    assert alloc.live_allocations == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=2048)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=60,
+))
+def test_allocator_invariants_under_random_traffic(ops):
+    """Byte conservation + sorted/coalesced free list under any trace."""
+    alloc = DeviceAllocator(64 * 1024, alignment=256)
+    live = []
+    for op, arg in ops:
+        if op == "malloc":
+            try:
+                live.append(alloc.malloc(arg))
+            except OutOfMemory:
+                pass
+        elif live:
+            alloc.free(live.pop(arg % len(live)))
+        alloc.check_invariants()
+    for ptr in live:
+        alloc.free(ptr)
+    alloc.check_invariants()
+    assert alloc.free_bytes == 64 * 1024
+    assert alloc.largest_free_extent == 64 * 1024

@@ -1,0 +1,225 @@
+"""CUDA runtime behaviour: launch, HyperQ, block-granularity residency."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.gpu import Gpu, titan_x
+from repro.gpu.phases import BLOCK_SYNC, Phase
+from repro.gpu.timing import TimingModel
+from repro.pcie import Direction, PcieBus
+from repro.sim import Engine
+from repro.tasks import TaskResult, TaskSpec
+
+# Zero fixed overheads -> arithmetic-friendly timings.
+CLEAN = TimingModel(
+    kernel_launch_ns=0.0, block_dispatch_ns=0.0, phase_overhead_ns=0.0,
+    syncthreads_ns=0.0, pcie_transaction_ns=100.0, mem_latency_ns=0.0,
+    warp_stall_ratio=0.0,
+)
+
+
+def make_runtime(timing=CLEAN, spec=None, functional=False):
+    eng = Engine()
+    gpu = Gpu(eng, spec or titan_x(), timing)
+    bus = PcieBus(eng, timing)
+    return eng, CudaRuntime(eng, gpu, bus, functional=functional)
+
+
+def const_kernel(inst):
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=float(inst))
+    return kernel
+
+
+def test_single_kernel_runs_to_completion():
+    eng, rt = make_runtime()
+    s = rt.create_stream()
+    task = TaskSpec("t", 128, 1, const_kernel(1000))
+    res = TaskResult(0, "t")
+    rt.launch_async(task, s, res)
+    eng.run()
+    assert rt.kernels_completed == 1
+    # 4 warps on one SMM with 4 schedulers -> full speed, 1000 ns
+    assert res.end_time == pytest.approx(1000.0)
+    assert res.start_time == pytest.approx(0.0)
+
+
+def test_host_launch_charges_driver_cost():
+    timing = dataclasses.replace(CLEAN, kernel_launch_ns=500.0)
+    eng, rt = make_runtime(timing)
+    s = rt.create_stream()
+    task = TaskSpec("t", 32, 1, const_kernel(100))
+    marks = []
+
+    def host():
+        ev = yield from rt.host_launch(task, s)
+        marks.append(("launched", eng.now))
+        yield ev
+        marks.append(("done", eng.now))
+
+    eng.spawn(host())
+    eng.run()
+    assert marks[0] == ("launched", pytest.approx(500.0))
+    assert marks[1] == ("done", pytest.approx(600.0))
+
+
+def test_blocks_spread_across_smms():
+    eng, rt = make_runtime()
+    # 24 blocks of 4 warps each -> one per SMM -> all finish together
+    task = TaskSpec("t", 128, 24, const_kernel(1000))
+    res = TaskResult(0, "t")
+    rt.launch_async(task, rt.create_stream(), res)
+    eng.run()
+    assert res.end_time == pytest.approx(1000.0)
+
+
+def test_block_granularity_residency():
+    """A freed warp cannot be reused until its whole block retires —
+    the §6.4 behaviour Pagoda improves on."""
+    spec = dataclasses.replace(
+        titan_x(), num_smms=1, max_warps_per_smm=2, max_blocks_per_smm=1,
+        max_threads_per_block=64,
+    )
+
+    def skewed(task, block_id, warp_id):
+        yield Phase(inst=100.0 if warp_id == 0 else 1000.0)
+
+    eng, rt = make_runtime(spec=spec)
+    s = rt.create_stream()
+    t1 = TaskSpec("t1", 64, 1, skewed)  # 2 warps: 100 and 1000 inst
+    t2 = TaskSpec("t2", 32, 1, const_kernel(10))
+    r1, r2 = TaskResult(0, "t1"), TaskResult(1, "t2")
+    rt.launch_async(t1, s, r1)
+    rt.launch_async(t2, rt.create_stream(), r2)
+    eng.run()
+    # t2's single block must wait for t1's slowest warp.
+    assert r2.start_time >= 1000.0
+    assert r1.end_time == pytest.approx(1000.0)
+
+
+def test_hyperq_connection_limit():
+    spec = dataclasses.replace(titan_x(), hyperq_connections=2)
+    eng, rt = make_runtime(spec=spec)
+    results = []
+    for i in range(4):
+        res = TaskResult(i, f"t{i}")
+        results.append(res)
+        rt.launch_async(TaskSpec(f"t{i}", 32, 1, const_kernel(1000)),
+                        rt.create_stream(), res)
+    eng.run()
+    starts = sorted(r.sched_time for r in results)
+    # only 2 admitted at t=0; the others wait for completions
+    assert starts[0] == 0.0 and starts[1] == 0.0
+    assert starts[2] >= 1000.0 and starts[3] >= 1000.0
+
+
+def test_syncthreads_joins_warps():
+    eng, rt = make_runtime()
+
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=100.0 * (warp_id + 1))
+        yield BLOCK_SYNC
+        yield Phase(inst=100.0)
+
+    task = TaskSpec("t", 128, 1, kernel, needs_sync=True)
+    res = TaskResult(0, "t")
+    rt.launch_async(task, rt.create_stream(), res)
+    eng.run()
+    # slowest pre-barrier warp: 400 ns; then 100 ns after barrier
+    assert res.end_time == pytest.approx(500.0)
+
+
+def test_memcpy_and_kernel_serialize_on_one_stream():
+    eng, rt = make_runtime()
+    s = rt.create_stream()
+    task = TaskSpec("t", 32, 1, const_kernel(100))
+    res = TaskResult(0, "t")
+    rt.memcpy_async(1000, Direction.H2D, s)  # 100 + 1000/12 ns
+    rt.launch_async(task, s, res)
+    eng.run()
+    copy_time = 100.0 + 1000 / 12.0
+    assert res.start_time == pytest.approx(copy_time)
+    assert res.end_time == pytest.approx(copy_time + 100.0)
+
+
+def test_functional_execution_runs_kernel_func():
+    eng, rt = make_runtime(functional=True)
+    out = np.zeros(64, dtype=np.int64)
+
+    def func(ctx):
+        out[ctx.tid()] = ctx.tid() * 2
+
+    task = TaskSpec("t", 32, 2, const_kernel(10), work=None, func=func)
+    rt.launch_async(task, rt.create_stream())
+    eng.run()
+    np.testing.assert_array_equal(out, np.arange(64) * 2)
+
+
+def test_kernel_rejects_bad_yield():
+    eng, rt = make_runtime()
+
+    def bad(task, block_id, warp_id):
+        yield "garbage"
+
+    rt.launch_async(TaskSpec("t", 32, 1, bad), rt.create_stream())
+    with pytest.raises(TypeError):
+        eng.run()
+
+
+def test_block_dispatch_cost_charged():
+    timing = dataclasses.replace(CLEAN, block_dispatch_ns=50.0)
+    eng, rt = make_runtime(timing)
+    task = TaskSpec("t", 32, 2, const_kernel(100))
+    res = TaskResult(0, "t")
+    rt.launch_async(task, rt.create_stream(), res)
+    eng.run()
+    # dispatches serialize: block0 at 50, block1 at 100 -> done 200
+    assert res.end_time == pytest.approx(200.0)
+
+
+def test_launch_rejects_oversized_block():
+    """cudaErrorInvalidConfiguration, not a silent dispatcher hang."""
+    eng, rt = make_runtime()
+    with pytest.raises(ValueError, match="invalid configuration"):
+        rt.launch_async(TaskSpec("t", 2048, 1, const_kernel(1)),
+                        rt.create_stream())
+
+
+def test_launch_rejects_oversized_shared_memory():
+    eng, rt = make_runtime()
+    task = TaskSpec("t", 64, 1, const_kernel(1),
+                    shared_mem_bytes=64 * 1024)
+    with pytest.raises(ValueError, match="invalid configuration"):
+        rt.launch_async(task, rt.create_stream())
+
+
+def test_launch_rejects_unplaceable_register_footprint():
+    eng, rt = make_runtime()
+    task = TaskSpec("t", 1024, 1, const_kernel(1), regs_per_thread=255)
+    with pytest.raises(ValueError, match="invalid configuration"):
+        rt.launch_async(task, rt.create_stream())
+
+
+def test_dispatcher_no_lost_wakeup_on_release_during_dispatch():
+    """Regression (same class as the Pagoda scheduler's lost wakeup):
+    a block releasing its SMM while the dispatcher is paying the
+    dispatch cost for another block must still wake a waiting head."""
+    timing = dataclasses.replace(CLEAN, block_dispatch_ns=100.0)
+    spec = dataclasses.replace(
+        titan_x(), num_smms=1, max_warps_per_smm=4, max_blocks_per_smm=2,
+        max_threads_per_block=128,
+    )
+    eng, rt = make_runtime(timing, spec=spec)
+    s1, s2, s3 = (rt.create_stream() for _ in range(3))
+    # t1 finishes exactly inside t2's dispatch window; t3's 4-warp
+    # block then needs the whole SMM and must not be stranded
+    r1, r2, r3 = (TaskResult(i, f"t{i}") for i in range(3))
+    rt.launch_async(TaskSpec("t1", 64, 1, const_kernel(150)), s1, r1)
+    rt.launch_async(TaskSpec("t2", 64, 1, const_kernel(400)), s2, r2)
+    rt.launch_async(TaskSpec("t3", 128, 1, const_kernel(50)), s3, r3)
+    eng.run(until=1e9)
+    assert r1.end_time > 0 and r2.end_time > 0
+    assert r3.end_time > 0, "t3 stranded: dispatcher lost a wakeup"

@@ -1,0 +1,84 @@
+"""Stream ordering tests."""
+
+import pytest
+
+from repro.cuda import Stream
+from repro.sim import Engine
+
+
+def delay_op(duration, log, tag, eng):
+    def op():
+        yield duration
+        log.append((tag, eng.now))
+    return op
+
+
+def test_ops_execute_in_fifo_order():
+    eng = Engine()
+    s = Stream(eng, "s0")
+    log = []
+    s.enqueue(delay_op(5.0, log, "a", eng))
+    s.enqueue(delay_op(1.0, log, "b", eng))
+    s.enqueue(delay_op(1.0, log, "c", eng))
+    eng.run()
+    assert log == [("a", 5.0), ("b", 6.0), ("c", 7.0)]
+
+
+def test_two_streams_run_independently():
+    eng = Engine()
+    s1, s2 = Stream(eng, "s1"), Stream(eng, "s2")
+    log = []
+    s1.enqueue(delay_op(5.0, log, "s1a", eng))
+    s2.enqueue(delay_op(5.0, log, "s2a", eng))
+    eng.run()
+    assert dict(log) == {"s1a": 5.0, "s2a": 5.0}
+
+
+def test_enqueue_returns_completion_event():
+    eng = Engine()
+    s = Stream(eng, "s")
+    log = []
+    done = s.enqueue(delay_op(3.0, log, "x", eng))
+
+    def waiter():
+        t = yield done
+        log.append(("waited", t))
+
+    eng.spawn(waiter())
+    eng.run()
+    assert ("waited", 3.0) in log
+
+
+def test_synchronize_waits_for_drain():
+    eng = Engine()
+    s = Stream(eng, "s")
+    log = []
+    s.enqueue(delay_op(2.0, log, "a", eng))
+    s.enqueue(delay_op(2.0, log, "b", eng))
+
+    def host():
+        yield s.synchronize()
+        log.append(("sync", eng.now))
+
+    eng.spawn(host())
+    eng.run()
+    assert ("sync", 4.0) in log
+
+
+def test_synchronize_on_idle_stream_is_immediate():
+    eng = Engine()
+    s = Stream(eng, "s")
+    ev = s.synchronize()
+    assert ev.fired
+
+
+def test_pending_and_completed_counters():
+    eng = Engine()
+    s = Stream(eng, "s")
+    log = []
+    s.enqueue(delay_op(1.0, log, "a", eng))
+    s.enqueue(delay_op(1.0, log, "b", eng))
+    assert s.pending == 2
+    eng.run()
+    assert s.pending == 0
+    assert s.completed_ops == 2

@@ -1,0 +1,70 @@
+"""SIMT divergence helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.divergence import (
+    divergence_factor,
+    expected_lognormal_divergence,
+    warp_costs_from_lane_work,
+)
+
+
+def test_uniform_lanes_no_inflation():
+    lanes = np.full(64, 7.0)
+    costs = warp_costs_from_lane_work(lanes)
+    np.testing.assert_array_equal(costs, [7.0, 7.0])
+    assert divergence_factor(lanes) == pytest.approx(1.0)
+
+
+def test_single_deep_lane_dominates_its_warp():
+    lanes = np.ones(32)
+    lanes[5] = 100.0
+    costs = warp_costs_from_lane_work(lanes)
+    assert costs.tolist() == [100.0]
+    # warp pays 100 where ideal packing pays (31 + 100)/32
+    assert divergence_factor(lanes) == pytest.approx(
+        100.0 / ((31 + 100) / 32))
+
+
+def test_partial_warp_padded_with_zero():
+    lanes = [3.0] * 40  # 32 + 8 lanes
+    costs = warp_costs_from_lane_work(lanes)
+    assert costs.tolist() == [3.0, 3.0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        warp_costs_from_lane_work([])
+    with pytest.raises(ValueError):
+        warp_costs_from_lane_work([-1.0])
+
+
+def test_zero_work_factor_is_one():
+    assert divergence_factor([0.0, 0.0]) == 1.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6),
+                min_size=1, max_size=256))
+def test_warp_cost_bounds(lanes):
+    """Each warp's cost is at least its mean and at most its max."""
+    costs = warp_costs_from_lane_work(lanes)
+    arr = np.asarray(lanes)
+    assert costs.max() == pytest.approx(arr.max())
+    assert costs.sum() >= arr.sum() / 32 - 1e-6
+
+
+@given(sigma=st.floats(min_value=0.0, max_value=1.5))
+def test_divergence_grows_with_spread(sigma):
+    low = expected_lognormal_divergence(sigma)
+    high = expected_lognormal_divergence(sigma + 0.5)
+    assert high >= low - 0.05
+
+
+def test_mb_divergence_constant_is_in_range():
+    """The MB cost model's 1.5x lockstep constant sits inside the
+    plausible band for its lognormal depth distribution."""
+    factor = expected_lognormal_divergence(sigma=0.4)
+    assert 1.1 < factor < 2.5

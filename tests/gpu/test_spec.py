@@ -1,0 +1,44 @@
+"""Tests for GPU architectural specs."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import GpuSpec, tesla_k40, titan_x
+
+
+def test_titan_x_matches_paper_section2():
+    spec = titan_x()
+    assert spec.num_smms == 24
+    assert spec.cores_per_smm == 128
+    assert spec.max_warps_per_smm == 64
+    assert spec.max_blocks_per_smm == 32
+    assert spec.max_threads_per_block == 1024
+    assert spec.shared_mem_per_smm == 96 * 1024
+    assert spec.registers_per_smm == 64 * 1024
+    assert spec.hyperq_connections == 32
+
+
+def test_titan_x_derived_quantities():
+    spec = titan_x()
+    assert spec.max_threads_per_smm == 2048
+    assert spec.total_warp_slots == 64 * 24
+    assert spec.warp_schedulers_per_smm == 4
+    assert spec.cycle_ns == 1.0
+
+
+def test_k40_preset():
+    spec = tesla_k40()
+    assert spec.num_smms == 15
+    assert spec.warp_schedulers_per_smm == 6
+    assert spec.cycle_ns == pytest.approx(1 / 0.745)
+
+
+def test_spec_validation_threads_multiple_of_warp():
+    with pytest.raises(ValueError):
+        dataclasses.replace(titan_x(), max_threads_per_block=1000)
+
+
+def test_spec_validation_block_must_fit_smm():
+    with pytest.raises(ValueError):
+        dataclasses.replace(titan_x(), max_warps_per_smm=16)

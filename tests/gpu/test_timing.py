@@ -1,0 +1,69 @@
+"""Sanity tests pinning the timing model's structural relationships.
+
+Absolute constants are calibration choices (DESIGN.md §4); these tests
+pin the *relationships* the reproduction's conclusions rest on, so an
+accidental constant change that breaks a mechanism fails loudly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.timing import DEFAULT_TIMING, TimingModel
+
+
+def test_model_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_TIMING.kernel_launch_ns = 0  # type: ignore[misc]
+
+
+def test_pagoda_spawn_path_cheaper_than_kernel_launch():
+    """The whole §4.2 premise: spawning a Pagoda task costs the host
+    less than launching a CUDA kernel plus its memcpy issues."""
+    t = DEFAULT_TIMING
+    pagoda = t.spawn_cpu_ns + t.entry_post_ns
+    hyperq = t.kernel_launch_ns + t.memcpy_issue_ns
+    assert pagoda < hyperq
+
+
+def test_copyback_amortizes_transaction_overhead():
+    """Lazy aggregate updates: one bulk copy-back of 1536 entries costs
+    far less than per-entry readbacks would."""
+    t = DEFAULT_TIMING
+    bulk = t.pcie_transaction_ns + (1536 * 8) / t.pcie_bandwidth_bpns
+    per_entry = 1536 * t.pcie_transaction_ns
+    assert bulk < per_entry / 100
+
+
+def test_stall_ratio_makes_occupancy_matter():
+    """A lone warp's IPC is 1/(1+ratio); an SMM needs more than 4
+    resident warps to saturate its 4 issue slots — without that, the
+    paper's occupancy argument would be vacuous."""
+    t = DEFAULT_TIMING
+    lone_ipc = 1.0 / (1.0 + t.warp_stall_ratio)
+    warps_to_saturate = 4 / lone_ipc
+    assert warps_to_saturate > 8  # HyperQ's ~5 warps/SMM cannot saturate
+    assert warps_to_saturate < 62  # the MasterKernel's 62 can
+
+
+def test_mapped_write_faster_than_dma_transaction():
+    t = DEFAULT_TIMING
+    assert t.entry_post_ns < t.pcie_transaction_ns
+
+
+def test_pthread_create_dwarfs_pagoda_spawn():
+    """Why the CPU loses on narrow tasks (§6.2)."""
+    t = DEFAULT_TIMING
+    assert t.pthread_create_ns > 5 * (t.spawn_cpu_ns + t.entry_post_ns)
+
+
+def test_dram_helper_identity():
+    assert DEFAULT_TIMING.dram_bytes_per_ns(336.0) == 336.0
+
+
+def test_custom_model_overrides():
+    t = TimingModel(kernel_launch_ns=1.0, warp_stall_ratio=0.0)
+    assert t.kernel_launch_ns == 1.0
+    assert t.warp_stall_ratio == 0.0
+    # untouched fields keep defaults
+    assert t.pcie_bandwidth_bpns == DEFAULT_TIMING.pcie_bandwidth_bpns

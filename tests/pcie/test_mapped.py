@@ -1,0 +1,98 @@
+"""Mapped (zero-copy volatile) memory semantics, incl. the §4.2.1 hazard."""
+
+import pytest
+
+from repro.gpu.timing import TimingModel
+from repro.pcie import MappedRegion
+from repro.sim import Engine
+
+TIMING = TimingModel(mapped_write_ns=100.0)
+
+
+def make_region(hazard=False):
+    eng = Engine()
+    return eng, MappedRegion(eng, TIMING, "tasktable", hazard_reorder=hazard)
+
+
+def test_write_visible_after_latency():
+    eng, region = make_region()
+    region.write("ready", 1)
+    assert region.read("ready") is None
+    eng.run()
+    assert eng.now == pytest.approx(100.0)
+    assert region.read("ready") == 1
+
+
+def test_write_local_immediate():
+    _eng, region = make_region()
+    region.write_local("x", 5)
+    assert region.read("x") == 5
+
+
+def test_posted_writes_keep_program_order():
+    eng, region = make_region()
+    observed = []
+    region.write("params", "payload",
+                 on_visible=lambda: observed.append(("params", region.read("ready"))))
+    region.write("ready", 1,
+                 on_visible=lambda: observed.append(("ready", region.read("params"))))
+    eng.run()
+    # When 'ready' landed, 'params' were already there.
+    assert observed == [("params", None), ("ready", "payload")]
+
+
+def test_on_change_signal_pulses_per_landing():
+    eng, region = make_region()
+    region.write("a", 1)
+    region.write("b", 2)
+    seen = []
+
+    def poller():
+        while len(seen) < 2:
+            key = yield region.on_change.wait()
+            seen.append((key, eng.now))
+
+    eng.spawn(poller())
+    eng.run()
+    assert [k for k, _ in seen] == ["a", "b"]
+
+
+def test_unordered_hazard_flag_lands_first():
+    """§4.2.1: one cudamemcopy cannot order parameters before the flag."""
+    eng, region = make_region(hazard=True)
+    region.write_unordered({"params": "payload"}, "ready", 1)
+    states = []
+
+    def poller():
+        while True:
+            yield region.on_change.wait()
+            states.append((region.read("ready"), region.read("params")))
+            if region.read("params") is not None:
+                return
+
+    eng.spawn(poller())
+    eng.run()
+    # The GPU observes ready==1 while params are still missing: the bug.
+    assert states[0] == (1, None)
+
+
+def test_unordered_benign_case_masks_the_bug():
+    eng, region = make_region(hazard=False)
+    region.write_unordered({"params": "payload"}, "ready", 1)
+    eng.run()
+    assert region.read("ready") == 1 and region.read("params") == "payload"
+
+
+def test_contains_and_snapshot():
+    eng, region = make_region()
+    region.write_local("k", 7)
+    assert "k" in region
+    assert "missing" not in region
+    assert region.snapshot() == {"k": 7}
+
+
+def test_write_count_tracks_transactions():
+    eng, region = make_region()
+    region.write("a", 1)
+    region.write_unordered({"b": 2}, "flag", 1)
+    assert region.write_count == 2

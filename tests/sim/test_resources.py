@@ -1,0 +1,330 @@
+"""Unit tests for FifoResource, ProcessorSharing, and Store."""
+
+import pytest
+
+from repro.sim import Engine, FifoResource, ProcessorSharing, Store
+
+
+# --------------------------------------------------------------------------
+# FifoResource
+# --------------------------------------------------------------------------
+
+def test_fifo_capacity_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        FifoResource(eng, 0)
+
+
+def test_fifo_grants_up_to_capacity_immediately():
+    eng = Engine()
+    res = FifoResource(eng, 2)
+    granted = []
+
+    def proc(i):
+        yield res.acquire()
+        granted.append((i, eng.now))
+        yield 10.0
+        res.release()
+
+    for i in range(3):
+        eng.spawn(proc(i))
+    eng.run()
+    times = dict((i, t) for i, t in granted)
+    assert times[0] == 0.0 and times[1] == 0.0
+    assert times[2] == 10.0
+
+
+def test_fifo_queue_order():
+    eng = Engine()
+    res = FifoResource(eng, 1)
+    order = []
+
+    def proc(i):
+        yield res.acquire()
+        order.append(i)
+        yield 1.0
+        res.release()
+
+    for i in range(4):
+        eng.spawn(proc(i))
+    eng.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_fifo_release_idle_raises():
+    eng = Engine()
+    res = FifoResource(eng, 1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_fifo_use_helper():
+    eng = Engine()
+    res = FifoResource(eng, 1)
+    ends = []
+
+    def proc():
+        yield from res.use(5.0)
+        ends.append(eng.now)
+
+    eng.spawn(proc())
+    eng.spawn(proc())
+    eng.run()
+    assert ends == [5.0, 10.0]
+
+
+def test_fifo_queue_length():
+    eng = Engine()
+    res = FifoResource(eng, 1)
+    res.acquire()
+    res.acquire()
+    res.acquire()
+    assert res.queue_length == 2
+
+
+# --------------------------------------------------------------------------
+# ProcessorSharing
+# --------------------------------------------------------------------------
+
+def _consume_and_record(eng, ps, amount, log, tag):
+    def proc():
+        yield ps.consume(amount)
+        log.append((tag, eng.now))
+    eng.spawn(proc())
+
+
+def test_ps_single_job_runs_at_cap():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=4.0, per_job_cap=1.0)
+    log = []
+    _consume_and_record(eng, ps, 10.0, log, "a")
+    eng.run()
+    # one job capped at 1 unit/ns -> 10 ns
+    assert log == [("a", pytest.approx(10.0))]
+
+
+def test_ps_under_capacity_jobs_all_run_at_cap():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=4.0, per_job_cap=1.0)
+    log = []
+    for tag in "abcd":
+        _consume_and_record(eng, ps, 10.0, log, tag)
+    eng.run()
+    # 4 jobs, pool rate 4, cap 1 -> all run at 1 -> all done at t=10
+    assert all(t == pytest.approx(10.0) for _tag, t in log)
+
+
+def test_ps_oversubscribed_shares_rate():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=4.0, per_job_cap=1.0)
+    log = []
+    for i in range(8):
+        _consume_and_record(eng, ps, 10.0, log, i)
+    eng.run()
+    # 8 jobs share rate 4 -> each gets 0.5 -> 20 ns
+    assert all(t == pytest.approx(20.0) for _tag, t in log)
+
+
+def test_ps_late_arrival_slows_existing_job():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=1.0, per_job_cap=1.0)
+    log = []
+
+    def first():
+        yield ps.consume(10.0)
+        log.append(("first", eng.now))
+
+    def second():
+        yield 5.0
+        yield ps.consume(10.0)
+        log.append(("second", eng.now))
+
+    eng.spawn(first())
+    eng.spawn(second())
+    eng.run()
+    # first: 5 ns alone (5 work) + shares 0.5 for remaining 5 work -> t=15
+    # second: 0.5 rate until t=15 (5 work done), then alone -> t=20
+    assert dict(log) == {
+        "first": pytest.approx(15.0),
+        "second": pytest.approx(20.0),
+    }
+
+
+def test_ps_zero_amount_completes_immediately():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=1.0)
+    ev = ps.consume(0.0)
+    assert ev.fired
+
+
+def test_ps_negative_amount_rejected():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=1.0)
+    with pytest.raises(ValueError):
+        ps.consume(-1.0)
+
+
+def test_ps_invalid_rate_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        ProcessorSharing(eng, rate=0.0)
+
+
+def test_ps_work_conservation():
+    """Total service delivered equals total work submitted."""
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=2.0, per_job_cap=1.0)
+    log = []
+    amounts = [3.0, 7.0, 1.0, 12.0, 5.0]
+    for i, amount in enumerate(amounts):
+        _consume_and_record(eng, ps, amount, log, i)
+    end = eng.run()
+    # The makespan can never beat total_work / rate nor the longest job
+    # at its cap.
+    lower = max(sum(amounts) / 2.0, max(amounts) / 1.0)
+    assert end >= lower - 1e-6
+    assert len(log) == len(amounts)
+
+
+def test_ps_utilization_full_when_saturated():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=2.0, per_job_cap=1.0)
+    log = []
+    for i in range(4):
+        _consume_and_record(eng, ps, 10.0, log, i)
+    eng.run()
+    assert ps.utilization() == pytest.approx(1.0, rel=1e-6)
+
+
+def test_ps_utilization_half_when_single_capped_job():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=2.0, per_job_cap=1.0)
+    log = []
+    _consume_and_record(eng, ps, 10.0, log, "a")
+    eng.run()
+    assert ps.utilization() == pytest.approx(0.5, rel=1e-6)
+
+
+def test_ps_sequential_batches():
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=1.0, per_job_cap=1.0)
+    log = []
+
+    def proc():
+        yield ps.consume(4.0)
+        log.append(eng.now)
+        yield ps.consume(6.0)
+        log.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run()
+    assert log == [pytest.approx(4.0), pytest.approx(10.0)]
+
+
+# --------------------------------------------------------------------------
+# Store
+# --------------------------------------------------------------------------
+
+def test_store_put_then_get():
+    eng = Engine()
+    store = Store(eng)
+    store.put("x")
+    got = []
+
+    def proc():
+        item = yield store.get()
+        got.append(item)
+
+    eng.spawn(proc())
+    eng.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((eng.now, item))
+
+    def producer():
+        yield 5.0
+        store.put("late")
+
+    eng.spawn(consumer())
+    eng.spawn(producer())
+    eng.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_fifo_both_sides():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer(i):
+        item = yield store.get()
+        got.append((i, item))
+
+    for i in range(3):
+        eng.spawn(consumer(i))
+
+    def producer():
+        yield 1.0
+        for item in "abc":
+            store.put(item)
+
+    eng.spawn(producer())
+    eng.run()
+    assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+
+def test_store_len():
+    eng = Engine()
+    store = Store(eng)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_ps_no_livelock_on_tiny_residual_work():
+    """Regression: a job whose remaining work lands just above epsilon
+    on a high-rate pool must still complete (the ETA floor prevents
+    the same-instant timer livelock)."""
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=336.0)  # DRAM-like rate
+    finished = []
+
+    def job(amount, delay):
+        yield delay
+        yield ps.consume(amount)
+        finished.append(amount)
+
+    # amounts chosen to produce awkward float residues under sharing
+    for i, amount in enumerate([1e-7, 0.1, 336_000.33, 7.77, 1e-3]):
+        eng.spawn(job(amount, i * 0.333))
+    eng.run(max_events=100_000)
+    assert len(finished) == 5
+    assert eng.event_count < 100_000  # terminated, not capped
+
+
+def test_ps_many_jobs_high_churn_terminates():
+    import numpy as np
+
+    rng = np.random.default_rng(2)
+    eng = Engine()
+    ps = ProcessorSharing(eng, rate=4.0, per_job_cap=1.0)
+    done = []
+
+    def job(amount, start):
+        yield start
+        yield ps.consume(amount)
+        done.append(amount)
+
+    for _ in range(300):
+        eng.spawn(job(float(rng.uniform(0.01, 50)),
+                      float(rng.uniform(0, 100))))
+    eng.run(max_events=1_000_000)
+    assert len(done) == 300

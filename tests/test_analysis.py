@@ -1,0 +1,91 @@
+"""Analysis helper tests."""
+
+import pytest
+
+from repro.analysis import compare, latency_cdf, mtb_load_balance, summarize
+from repro.bench.harness import make_tasks, run_tasks
+from repro.core import PagodaConfig, PagodaSession
+from repro.gpu.phases import Phase
+from repro.tasks import RunStats, TaskResult, TaskSpec
+
+
+def make_stats(n=10, runtime="pagoda"):
+    return RunStats(runtime=runtime, makespan=1e6, results=[
+        TaskResult(i, f"t{i}", spawn_time=0.0, start_time=10.0,
+                   end_time=float((i + 1) * 1000))
+        for i in range(n)
+    ])
+
+
+def test_latency_cdf_monotone_and_bounded():
+    cdf = latency_cdf(make_stats(50), points=20)
+    lats = [l for l, _f in cdf]
+    fracs = [f for _l, f in cdf]
+    assert lats == sorted(lats)
+    assert fracs[0] == 0.0 and fracs[-1] == 1.0
+    assert lats[0] == 1000.0 and lats[-1] == 50_000.0
+
+
+def test_latency_cdf_validation():
+    with pytest.raises(ValueError):
+        latency_cdf(RunStats(runtime="x", makespan=1.0))
+    with pytest.raises(ValueError):
+        latency_cdf(make_stats(5), points=1)
+
+
+def test_summarize_contains_key_metrics():
+    text = summarize(make_stats())
+    for token in ("runtime:", "makespan:", "latency p99:",
+                  "copy fraction:", "throughput:"):
+        assert token in text
+
+
+def test_compare_renders_speedups():
+    a = make_stats(runtime="slow")
+    b = RunStats(runtime="fast", makespan=5e5,
+                 results=make_stats().results)
+    text = compare([a, b])
+    assert "speedup_vs_slow" in text
+    assert "2.00" in text  # fast is 2x
+
+
+def test_compare_rejects_empty():
+    with pytest.raises(ValueError):
+        compare([])
+
+
+def test_mtb_load_balance_on_real_session():
+    session = PagodaSession()
+    eng, host = session.engine, session.host
+
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=500)
+
+    def driver():
+        for i in range(96):
+            yield from host.task_spawn(
+                TaskSpec(f"t{i}", 64, 1, kernel), TaskResult(i, "t"))
+        yield from host.wait_all()
+
+    eng.spawn(driver())
+    eng.run()
+    balance = mtb_load_balance(session)
+    session.shutdown()
+    assert balance["total"] == 96
+    assert balance["mtbs"] == 48
+    # the interleaved free queue spreads 2 tasks to every MTB
+    assert balance["cv"] < 0.3
+
+
+def test_mtb_load_balance_requires_work():
+    session = PagodaSession()
+    with pytest.raises(ValueError):
+        mtb_load_balance(session)
+    session.shutdown()
+
+
+def test_end_to_end_comparison_of_real_runs():
+    tasks = make_tasks("mb", 24, 128, seed=8)
+    runs = [run_tasks(tasks, rt) for rt in ("pagoda", "hyperq")]
+    text = compare(runs)
+    assert "pagoda" in text and "cuda-hyperq" in text

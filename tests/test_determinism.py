@@ -1,0 +1,52 @@
+"""Determinism: every runtime is a pure function of its inputs.
+
+The simulator has no wall-clock or global RNG dependence; repeated
+runs must agree to the bit.  This is what makes the paper-vs-measured
+tables in EXPERIMENTS.md stable artifacts rather than samples.
+"""
+
+import pytest
+
+from repro.bench.harness import RUNTIMES, make_tasks, run_tasks
+
+WORKLOAD = "mpe"  # touches sync, shared memory, and irregularity at once
+
+
+def fingerprint(stats):
+    return (
+        stats.makespan,
+        stats.copy_time,
+        tuple((r.spawn_time, r.sched_time, r.start_time, r.end_time)
+              for r in sorted(stats.results, key=lambda r: r.name)),
+    )
+
+
+@pytest.mark.parametrize("runtime", sorted(RUNTIMES))
+def test_runtime_is_deterministic(runtime):
+    if runtime == "fusion":
+        tasks = make_tasks("mb", 32, 128, seed=5)  # fusion: 1-block tasks
+    else:
+        tasks = make_tasks(WORKLOAD, 32, 128, seed=5)
+    a = run_tasks(tasks, runtime)
+    b = run_tasks(tasks, runtime)
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_task_generation_is_seeded():
+    a = make_tasks("3des", 16, 128, seed=9)
+    b = make_tasks("3des", 16, 128, seed=9)
+    c = make_tasks("3des", 16, 128, seed=10)
+    assert [t.input_bytes for t in a] == [t.input_bytes for t in b]
+    assert [t.input_bytes for t in a] != [t.input_bytes for t in c]
+
+
+def test_multigpu_is_deterministic():
+    from repro.core import PagodaConfig
+    from repro.core.multigpu import run_multi_gpu_pagoda
+
+    tasks = make_tasks("mb", 40, 128, seed=3)
+    config = PagodaConfig(copy_inputs=False, copy_outputs=False)
+    a = run_multi_gpu_pagoda(tasks, num_gpus=2, config=config)
+    b = run_multi_gpu_pagoda(tasks, num_gpus=2, config=config)
+    assert fingerprint(a) == fingerprint(b)
+    assert a.meta["placements"] == b.meta["placements"]

@@ -1,0 +1,102 @@
+"""Tests for the device-side API (Table 1's GPU-side calls)."""
+
+import numpy as np
+import pytest
+
+from repro.device_api import SM_PTR_ALIGNMENT, BlockContext, run_functional
+from repro.gpu.phases import Phase
+from repro.tasks import TaskSpec
+
+
+def noop_kernel(task, block_id, warp_id):
+    yield Phase(inst=1)
+
+
+def make_task(**kw):
+    defaults = dict(name="t", threads_per_block=64, num_blocks=2,
+                    kernel=noop_kernel)
+    defaults.update(kw)
+    return TaskSpec(**defaults)
+
+
+def test_tid_is_global_across_blocks():
+    task = make_task()
+    ctx0 = BlockContext(task, 0)
+    ctx1 = BlockContext(task, 1)
+    np.testing.assert_array_equal(ctx0.tid(), np.arange(64))
+    np.testing.assert_array_equal(ctx1.tid(), np.arange(64, 128))
+
+
+def test_local_tid_restarts_per_block():
+    task = make_task()
+    np.testing.assert_array_equal(
+        BlockContext(task, 1).local_tid(), np.arange(64)
+    )
+
+
+def test_sync_block_counts_stages():
+    ctx = BlockContext(make_task(), 0)
+    ctx.sync_block()
+    ctx.sync_block()
+    assert ctx.sync_count == 2
+
+
+def test_get_sm_ptr_requires_shared_request():
+    ctx = BlockContext(make_task(), 0, shared=None)
+    with pytest.raises(RuntimeError):
+        ctx.get_sm_ptr()
+
+
+def test_get_sm_ptr_returns_buffer():
+    buf = np.zeros(1024, dtype=np.uint8)
+    ctx = BlockContext(make_task(shared_mem_bytes=1024), 0, shared=buf)
+    assert ctx.get_sm_ptr() is buf
+
+
+def test_args_exposes_task_work():
+    ctx = BlockContext(make_task(work={"k": 3}), 0)
+    assert ctx.args == {"k": 3}
+
+
+def test_alignment_constant_matches_table1():
+    assert SM_PTR_ALIGNMENT == 32
+
+
+def test_run_functional_invokes_per_block():
+    seen = []
+
+    def func(ctx):
+        seen.append(ctx.block_id)
+
+    run_functional(make_task(num_blocks=3, func=func))
+    assert seen == [0, 1, 2]
+
+
+def test_run_functional_noop_without_func():
+    run_functional(make_task())  # must not raise
+
+
+def test_run_functional_allocates_shared_fallback():
+    sizes = []
+
+    def func(ctx):
+        sizes.append(len(ctx.get_sm_ptr()))
+
+    run_functional(make_task(shared_mem_bytes=2048, func=func,
+                             num_blocks=1))
+    assert sizes == [2048]
+
+
+def test_run_functional_uses_supplied_shared_buffers():
+    buffers = {0: np.zeros(512, dtype=np.uint8),
+               1: np.zeros(512, dtype=np.uint8)}
+    used = []
+
+    def func(ctx):
+        used.append(ctx.get_sm_ptr() is buffers[ctx.block_id])
+
+    run_functional(
+        make_task(shared_mem_bytes=512, func=func),
+        shared_for_block=lambda b: buffers[b],
+    )
+    assert used == [True, True]

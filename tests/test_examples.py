@@ -1,0 +1,54 @@
+"""The examples must stay runnable — each is executed as a script."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "completed and verified" in out
+    assert "after waitAll: True" in out
+
+
+def test_packet_router():
+    out = run_example("packet_router.py")
+    assert "decrypt(encrypt(p)) == p  OK" in out
+    assert "pagoda" in out and "static-fusion" in out
+
+
+def test_sparse_solver():
+    out = run_example("sparse_solver.py")
+    assert "L @ U == A verified" in out
+    assert "fill-in" in out
+
+
+def test_multiprogramming():
+    out = run_example("multiprogramming.py")
+    assert "speedup over GeMTC" in out
+    assert "'mb':" in out and "'3des':" in out
+
+
+def test_multi_gpu_scaling():
+    out = run_example("multi_gpu_scaling.py")
+    assert "2 GPU(s)" in out and "4 GPU(s)" in out
+    assert "multi_gpu_trace.json" in out
+
+
+def test_sensor_stream():
+    out = run_example("sensor_stream.py")
+    assert "deadlines met" in out
+    assert "pagoda + priority" in out

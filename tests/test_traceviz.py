@@ -1,0 +1,63 @@
+"""Chrome-trace export tests."""
+
+import json
+
+from repro.tasks import RunStats, TaskResult
+from repro.traceviz import chrome_trace_events, export_chrome_trace
+
+
+def make_stats(n=3):
+    results = [
+        TaskResult(i, f"t{i}", spawn_time=i * 100.0,
+                   sched_time=i * 100.0 + 50.0,
+                   start_time=i * 100.0 + 60.0,
+                   end_time=i * 100.0 + 160.0)
+        for i in range(n)
+    ]
+    return RunStats(runtime="pagoda", makespan=1000.0, results=results)
+
+
+def test_events_contain_metadata_and_spans():
+    events = chrome_trace_events(make_stats())
+    kinds = {e["name"] for e in events}
+    assert {"process_name", "thread_name", "queued", "exec"} <= kinds
+    execs = [e for e in events if e["name"] == "exec"]
+    assert len(execs) == 3
+    assert execs[0]["dur"] == 0.1  # 100 ns in us
+    assert execs[0]["ph"] == "X"
+
+
+def test_queued_span_measures_spawn_to_sched():
+    events = chrome_trace_events(make_stats(1))
+    queued = next(e for e in events if e["name"] == "queued")
+    assert queued["dur"] == 0.05
+
+
+def test_max_tasks_caps_output():
+    events = chrome_trace_events(make_stats(10), max_tasks=2)
+    execs = [e for e in events if e["name"] == "exec"]
+    assert len(execs) == 2
+
+
+def test_export_writes_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(make_stats(), str(path))
+    data = json.loads(path.read_text())
+    assert len(data["traceEvents"]) == count
+    assert data["displayTimeUnit"] == "ms"
+
+
+def test_export_from_real_run(tmp_path):
+    from repro.core import run_pagoda
+    from repro.gpu.phases import Phase
+    from repro.tasks import TaskSpec
+
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=500)
+
+    tasks = [TaskSpec(f"t{i}", 64, 1, kernel) for i in range(10)]
+    stats = run_pagoda(tasks)
+    path = tmp_path / "run.json"
+    count = export_chrome_trace(stats, str(path))
+    assert count > 20
+    json.loads(path.read_text())

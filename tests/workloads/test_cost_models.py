@@ -1,0 +1,103 @@
+"""Cost-model properties: traffic conservation, irregularity spread,
+and DES key-schedule known answers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.phases import Phase
+from repro.workloads import REGISTRY
+from repro.workloads.des3 import key_schedule
+
+ALL = ["mb", "fb", "bf", "conv", "dct", "mm", "3des"]
+
+
+def total_mem(task):
+    mem = 0.0
+    for block in range(task.num_blocks):
+        for warp in range(task.warps_per_block):
+            for item in task.warp_phases(block, warp):
+                if isinstance(item, Phase):
+                    mem += item.mem_bytes
+    return mem
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_dram_traffic_independent_of_thread_count(name):
+    """A task's DRAM footprint is set by its data, not its geometry."""
+    w = REGISTRY.get(name)
+    narrow = total_mem(w.make_tasks(1, threads_per_task=32, seed=7)[0])
+    wide = total_mem(w.make_tasks(1, threads_per_task=256, seed=7)[0])
+    assert wide == pytest.approx(narrow, rel=0.05)
+
+
+def test_dct_traffic_matches_image_footprint():
+    task = REGISTRY.get("dct").make_tasks(1, seed=1)[0]
+    img_bytes = task.work.img ** 2 * 4
+    # shared-memory version: image read once + written once
+    assert total_mem(task) == pytest.approx(2 * img_bytes, rel=0.01)
+
+
+def test_dct_no_smem_doubles_traffic():
+    import numpy as np
+    w = REGISTRY.get("dct")
+    rng = np.random.default_rng(0)
+    with_sm = w.make_task(0, 64, rng, False, False, use_shared_mem=True)
+    rng = np.random.default_rng(0)
+    without = w.make_task(0, 64, rng, False, False, use_shared_mem=False)
+    assert total_mem(without) == pytest.approx(2 * total_mem(with_sm),
+                                               rel=0.01)
+
+
+def test_3des_traffic_matches_packet():
+    task = REGISTRY.get("3des").make_tasks(1, seed=3)[0]
+    # read + write of the packet
+    assert total_mem(task) == pytest.approx(2 * task.work.packet_bytes,
+                                            rel=0.01)
+
+
+def test_mb_output_traffic_matches_tile():
+    from repro.workloads.mandelbrot import BYTES_PER_PIXEL, TILE
+    task = REGISTRY.get("mb").make_tasks(1, seed=4)[0]
+    assert total_mem(task) == pytest.approx(
+        TILE * TILE * BYTES_PER_PIXEL, rel=0.01)
+
+
+@pytest.mark.parametrize("name", ["fb", "bf", "conv", "mm"])
+def test_irregular_mode_increases_cost_spread(name):
+    w = REGISTRY.get(name)
+    regular = [t.cpu_cost().inst for t in w.make_tasks(60, seed=5)]
+    irregular = [
+        t.cpu_cost().inst
+        for t in w.make_tasks(60, seed=5, irregular=True)
+    ]
+    cv = lambda xs: np.std(xs) / np.mean(xs)
+    assert cv(irregular) > cv(regular) + 0.05
+
+
+def test_mb_is_irregular_even_by_default():
+    """Table 3 classifies MB as irregular."""
+    costs = [t.cpu_cost().inst
+             for t in REGISTRY.get("mb").make_tasks(80, seed=6)]
+    assert np.std(costs) / np.mean(costs) > 0.3
+
+
+def test_des_first_round_key_known_answer():
+    """The classic FIPS walkthrough: key 0x133457799BBCDFF1 gives
+    K1 = 000110 110000 001011 101111 111111 000111 000001 110010."""
+    keys = key_schedule(0x133457799BBCDFF1)
+    k1 = int("000110110000001011101111111111000111000001110010", 2)
+    assert keys[0] == k1
+
+
+def test_des_sixteen_round_keys_distinct():
+    keys = key_schedule(0x133457799BBCDFF1)
+    assert len(keys) == 16
+    assert len(set(keys)) == 16
+    assert all(0 <= k < 2 ** 48 for k in keys)
+
+
+def test_des_last_round_key_known_answer():
+    """K16 from the same walkthrough."""
+    keys = key_schedule(0x133457799BBCDFF1)
+    k16 = int("110010110011110110001011000011100001011111110101", 2)
+    assert keys[15] == k16

@@ -1,0 +1,194 @@
+"""Reference-implementation correctness for every workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.beamformer import reference_beamform
+from repro.workloads.convolution import reference_convolve
+from repro.workloads.dct import BLOCK, dct_matrix, reference_dct
+from repro.workloads.filterbank import N_SAMP, reference_filterbank
+from repro.workloads.mandelbrot import MAX_ITERS, MandelWork, reference_tile
+from repro.workloads.sparse_lu import (
+    SparseLuProblem,
+    TILE,
+    gemm_update,
+    generate_waves,
+    lu_tile,
+    reference_lu_check,
+    trsm_lower,
+    trsm_upper,
+)
+
+RNG = np.random.default_rng(42)
+
+
+# -- mandelbrot ---------------------------------------------------------------
+
+def test_mandel_interior_point_maxes_out():
+    work = MandelWork(x0=-0.1, y0=-0.1, scale=0.001, mean_iters=0)
+    tile = reference_tile(work)
+    # near the origin everything is inside the set
+    assert (tile == MAX_ITERS).all()
+
+
+def test_mandel_exterior_point_escapes_fast():
+    work = MandelWork(x0=2.5, y0=2.5, scale=0.0001, mean_iters=0)
+    tile = reference_tile(work)
+    assert (tile <= 2).all()
+
+
+def test_mandel_boundary_region_is_irregular():
+    work = MandelWork(x0=-0.75, y0=0.0, scale=0.01, mean_iters=0)
+    tile = reference_tile(work)
+    assert tile.min() < 10 and tile.max() == MAX_ITERS
+
+
+# -- filterbank ----------------------------------------------------------------
+
+def test_filterbank_identity_filter():
+    """h = delta, f = delta: the pipeline reduces to zero-stuffed
+    down-then-up-sampling of the signal."""
+    n = 64
+    sig = RNG.standard_normal(n)
+    delta = np.zeros(8)
+    delta[0] = 1.0
+    out = reference_filterbank(sig, delta, delta)
+    expected = np.zeros(n)
+    expected[: n // N_SAMP] = sig[::N_SAMP]
+    np.testing.assert_allclose(out, expected)
+
+
+def test_filterbank_linear_in_signal():
+    n = 128
+    h = RNG.standard_normal(16)
+    f = RNG.standard_normal(16)
+    a = RNG.standard_normal(n)
+    b = RNG.standard_normal(n)
+    lhs = reference_filterbank(a + 2 * b, h, f)
+    rhs = reference_filterbank(a, h, f) + 2 * reference_filterbank(b, h, f)
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+
+# -- beamformer ------------------------------------------------------------------
+
+def test_beamform_zero_delay_is_weighted_sum():
+    ch = RNG.standard_normal((4, 32))
+    w = np.array([1.0, -2.0, 0.5, 3.0])
+    out = reference_beamform(ch, np.zeros(4, dtype=int), w)
+    np.testing.assert_allclose(out, (w[:, None] * ch).sum(axis=0))
+
+
+def test_beamform_delay_shifts_channel():
+    ch = np.zeros((1, 16))
+    ch[0, 0] = 1.0
+    out = reference_beamform(ch, np.array([3]), np.array([2.0]))
+    expected = np.zeros(16)
+    expected[3] = 2.0
+    np.testing.assert_allclose(out, expected)
+
+
+# -- convolution -----------------------------------------------------------------
+
+def test_convolve_identity_kernel():
+    img = RNG.standard_normal((16, 16))
+    k = np.zeros((5, 5))
+    k[2, 2] = 1.0
+    np.testing.assert_allclose(reference_convolve(img, k), img)
+
+
+def test_convolve_matches_scipy():
+    scipy_signal = pytest.importorskip("scipy.signal")
+    img = RNG.standard_normal((32, 32))
+    k = RNG.standard_normal((5, 5))
+    expected = scipy_signal.correlate2d(img, k, mode="same", boundary="fill")
+    np.testing.assert_allclose(reference_convolve(img, k), expected,
+                               rtol=1e-10)
+
+
+# -- dct ----------------------------------------------------------------------------
+
+def test_dct_matrix_is_orthonormal():
+    m = dct_matrix()
+    np.testing.assert_allclose(m @ m.T, np.eye(BLOCK), atol=1e-12)
+
+
+def test_dct_constant_block_concentrates_dc():
+    img = np.ones((8, 8))
+    out = reference_dct(img)
+    assert out[0, 0] == pytest.approx(8.0)
+    assert np.abs(out).sum() == pytest.approx(8.0)
+
+
+def test_dct_is_invertible():
+    img = RNG.standard_normal((16, 16))
+    out = reference_dct(img)
+    m = dct_matrix()
+    back = np.zeros_like(img)
+    for y in range(0, 16, 8):
+        for x in range(0, 16, 8):
+            back[y:y+8, x:x+8] = m.T @ out[y:y+8, x:x+8] @ m
+    np.testing.assert_allclose(back, img, atol=1e-12)
+
+
+# -- sparse LU --------------------------------------------------------------------
+
+def test_lu_tile_factors_correctly():
+    a = RNG.standard_normal((TILE, TILE)) + np.eye(TILE) * TILE
+    orig = a.copy()
+    lu_tile(a)
+    lower = np.tril(a, -1) + np.eye(TILE)
+    upper = np.triu(a)
+    np.testing.assert_allclose(lower @ upper, orig, rtol=1e-10)
+
+
+def test_trsm_lower_solves():
+    a = RNG.standard_normal((TILE, TILE)) + np.eye(TILE) * TILE
+    lu_tile(a)
+    lower = np.tril(a, -1) + np.eye(TILE)
+    b = RNG.standard_normal((TILE, TILE))
+    x = b.copy()
+    trsm_lower(a, x)
+    np.testing.assert_allclose(lower @ x, b, rtol=1e-10)
+
+
+def test_trsm_upper_solves():
+    a = RNG.standard_normal((TILE, TILE)) + np.eye(TILE) * TILE
+    lu_tile(a)
+    upper = np.triu(a)
+    b = RNG.standard_normal((TILE, TILE))
+    x = b.copy()
+    trsm_upper(a, x)
+    np.testing.assert_allclose(x @ upper, b, rtol=1e-10)
+
+
+def test_gemm_update():
+    a = RNG.standard_normal((TILE, TILE))
+    l = RNG.standard_normal((TILE, TILE))
+    u = RNG.standard_normal((TILE, TILE))
+    expected = a - l @ u
+    gemm_update(a, l, u)
+    np.testing.assert_allclose(a, expected)
+
+
+def test_full_sparse_lu_factorization_in_order():
+    """Running every wave's functional tasks in order factorizes the
+    matrix: L @ U reproduces the original."""
+    problem = SparseLuProblem.generate(nb=5, density=0.4, seed=3,
+                                       functional=True)
+    original = problem.dense()
+    waves = generate_waves(problem, functional=True)
+    for wave in waves:
+        for task in wave:
+            task.func(None)  # tile funcs ignore the device context
+    reference_lu_check(problem, original)
+
+
+def test_sparse_lu_task_count_not_static():
+    """Fill-in makes the task count depend on the numeric pattern —
+    more tasks than the initial non-zeros suggest."""
+    problem = SparseLuProblem.generate(nb=6, density=0.25, seed=1)
+    initial_tiles = len(problem.tiles)
+    waves = generate_waves(problem)
+    total = sum(len(w) for w in waves)
+    assert total > initial_tiles
+    assert len(problem.tiles) > initial_tiles  # fill-in materialized

@@ -1,0 +1,88 @@
+"""SLUD DAG structure tests beyond the numeric factorization check."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.sparse_lu import (
+    SparseLuProblem,
+    generate_waves,
+)
+
+
+def test_wave_zero_is_always_the_first_lu():
+    problem = SparseLuProblem.generate(nb=4, density=0.3, seed=0)
+    waves = generate_waves(problem)
+    assert len(waves[0]) == 1
+    assert waves[0][0].work["op"] == "lu"
+
+
+def test_exactly_nb_lu_tasks():
+    nb = 6
+    problem = SparseLuProblem.generate(nb=nb, density=0.3, seed=1)
+    waves = generate_waves(problem)
+    lus = [t for w in waves for t in w if t.work["op"] == "lu"]
+    assert len(lus) == nb
+
+
+def test_denser_matrices_spawn_more_tasks():
+    sparse = SparseLuProblem.generate(nb=6, density=0.1, seed=2)
+    dense = SparseLuProblem.generate(nb=6, density=0.7, seed=2)
+    n_sparse = sum(len(w) for w in generate_waves(sparse))
+    n_dense = sum(len(w) for w in generate_waves(dense))
+    assert n_dense > n_sparse
+
+
+def test_gemm_counts_follow_panel_cross_products():
+    """Every factor pair (i,k) x (k,j) present at step k yields one
+    update task — conservation between trsm and gemm counts."""
+    problem = SparseLuProblem.generate(nb=5, density=0.4, seed=3)
+    # replay the symbolic factorization independently
+    tiles = set(problem.tiles)
+    expected_trsm = expected_gemm = 0
+    for k in range(problem.nb):
+        rows = [i for i in range(k + 1, problem.nb) if (i, k) in tiles]
+        cols = [j for j in range(k + 1, problem.nb) if (k, j) in tiles]
+        expected_trsm += len(rows) + len(cols)
+        for i in rows:
+            for j in cols:
+                tiles.add((i, j))
+                expected_gemm += 1
+    fresh = SparseLuProblem.generate(nb=5, density=0.4, seed=3)
+    waves = generate_waves(fresh)
+    ops = [t.work["op"] for w in waves for t in w]
+    assert ops.count("trsm") == expected_trsm
+    assert ops.count("gemm") == expected_gemm
+
+
+def test_dense_problem_task_count_formula():
+    """With density 1.0 the counts are the classic blocked-LU sums."""
+    nb = 5
+    problem = SparseLuProblem.generate(nb=nb, density=1.0, seed=4)
+    waves = generate_waves(problem)
+    ops = [t.work["op"] for w in waves for t in w]
+    assert ops.count("lu") == nb
+    assert ops.count("trsm") == nb * (nb - 1)  # row+col panels
+    assert ops.count("gemm") == sum(k * k for k in range(nb))
+
+
+def test_functional_waves_share_tile_objects():
+    """Functional tasks must operate on the problem's tiles in place —
+    a gemm's operands are the same arrays the trsm tasks updated."""
+    problem = SparseLuProblem.generate(nb=3, density=1.0, seed=5,
+                                       functional=True)
+    before = {k: v.copy() for k, v in problem.tiles.items()}
+    waves = generate_waves(problem, functional=True)
+    for wave in waves[:2]:  # lu + first panel
+        for task in wave:
+            task.func(None)
+    changed = sum(
+        not np.array_equal(problem.tiles[k], before[k]) for k in before
+    )
+    assert changed >= 3  # diagonal + its panel were rewritten
+
+
+def test_make_tasks_sizes_toward_request():
+    from repro.workloads import SPARSE_LU
+    tasks = SPARSE_LU.make_tasks(300)
+    # cube-root sizing lands within a factor of ~3 of the request
+    assert 100 <= len(tasks) <= 900

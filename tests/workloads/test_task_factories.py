@@ -1,0 +1,114 @@
+"""Task-factory behaviour shared across workloads + registry checks."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.phases import BLOCK_SYNC, BlockSync, Phase
+from repro.workloads import REGISTRY
+
+ALL_NAMES = ["mb", "fb", "bf", "conv", "dct", "mm", "slud", "3des", "mpe"]
+
+
+def test_registry_has_all_nine_benchmarks():
+    assert REGISTRY.names() == sorted(ALL_NAMES)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError):
+        REGISTRY.get("nope")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_make_tasks_produces_specs(name):
+    w = REGISTRY.get(name)
+    tasks = w.make_tasks(8, seed=1)
+    assert len(tasks) >= 8 if name == "slud" else len(tasks) == 8
+    for task in tasks:
+        assert task.threads_per_block >= 32
+        assert task.num_blocks >= 1
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_timing_kernels_yield_valid_phases(name):
+    w = REGISTRY.get(name)
+    for task in w.make_tasks(4, seed=2):
+        for block in range(task.num_blocks):
+            for warp in range(task.warps_per_block):
+                items = list(task.warp_phases(block, warp))
+                assert items, f"{task.name} warp emitted nothing"
+                for item in items:
+                    assert isinstance(item, (Phase, BlockSync))
+                    if isinstance(item, Phase):
+                        assert item.inst >= 0 and item.mem_bytes >= 0
+
+
+@pytest.mark.parametrize("name", ["mb", "fb", "bf", "conv", "dct", "mm", "3des"])
+def test_same_seed_same_tasks(name):
+    w = REGISTRY.get(name)
+    a = w.make_tasks(4, seed=9)
+    b = w.make_tasks(4, seed=9)
+    for ta, tb in zip(a, b):
+        pa = [p for p in ta.warp_phases(0, 0) if isinstance(p, Phase)]
+        pb = [p for p in tb.warp_phases(0, 0) if isinstance(p, Phase)]
+        assert pa == pb
+
+
+@pytest.mark.parametrize("name", ["mb", "fb", "bf", "conv", "dct", "mm", "3des"])
+def test_work_conserved_across_thread_counts(name):
+    """Fig. 7's premise: 'The amount of work per task remains constant
+    in all thread configurations.'"""
+    w = REGISTRY.get(name)
+
+    def total_inst(threads):
+        task = w.make_tasks(1, threads_per_task=threads, seed=5)[0]
+        return task.cpu_cost().inst
+
+    narrow = total_inst(32)
+    wide = total_inst(256)
+    assert wide == pytest.approx(narrow, rel=0.15)
+
+
+def test_sync_flags_match_table3():
+    assert REGISTRY.get("fb").needs_sync
+    assert REGISTRY.get("dct").needs_sync
+    assert REGISTRY.get("mm").needs_sync
+    assert not REGISTRY.get("mb").needs_sync
+    assert not REGISTRY.get("3des").needs_sync
+
+
+def test_shared_mem_flags_match_table3():
+    assert REGISTRY.get("dct").uses_shared_mem
+    assert REGISTRY.get("mm").uses_shared_mem
+    assert not REGISTRY.get("fb").uses_shared_mem
+
+
+def test_register_counts_match_table3():
+    expected = {"mb": 28, "fb": 21, "bf": 34, "conv": 25, "dct": 33,
+                "mm": 30, "slud": 17, "3des": 26}
+    for name, regs in expected.items():
+        assert REGISTRY.get(name).regs_per_thread == regs
+
+
+def test_slud_cannot_predeclare_count():
+    assert not REGISTRY.get("slud").static_task_count
+    assert REGISTRY.get("mb").static_task_count
+
+
+def test_irregular_mode_varies_work():
+    w = REGISTRY.get("mb")
+    tasks = w.make_tasks(50, seed=3, irregular=True)
+    costs = {round(t.cpu_cost().inst) for t in tasks}
+    assert len(costs) > 25  # genuinely varied
+
+
+def test_mpe_mixes_four_applications():
+    tasks = REGISTRY.get("mpe").make_tasks(32, seed=4)
+    prefixes = {t.name.rstrip("0123456789") for t in tasks}
+    assert prefixes == {"3des", "mb", "fb", "mm"}
+
+
+def test_sync_kernels_emit_barriers():
+    for name in ("fb", "dct", "mm"):
+        task = REGISTRY.get(name).make_tasks(1, seed=6)[0]
+        items = list(task.warp_phases(0, 0))
+        assert any(isinstance(i, BlockSync) for i in items)

@@ -1,0 +1,132 @@
+"""Per-workload edge cases beyond the shared factory/cost tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import REGISTRY
+from repro.workloads.beamformer import MAX_DELAY, reference_beamform
+from repro.workloads.convolution import KSIZE, reference_convolve
+from repro.workloads.dct import reference_dct
+from repro.workloads.filterbank import N_SAMP, reference_filterbank
+from repro.workloads.mandelbrot import MAX_ITERS, MandelWork, reference_tile
+
+RNG = np.random.default_rng(99)
+
+
+# -- mandelbrot -----------------------------------------------------------
+
+def test_mandel_iters_fit_dtype():
+    """MAX_ITERS must fit the output dtype (a uint8 overflow bit us
+    once; the tile is uint16 now)."""
+    assert MAX_ITERS <= np.iinfo(np.uint16).max
+    work = MandelWork(x0=-0.5, y0=0.0, scale=0.001, mean_iters=0)
+    tile = reference_tile(work)
+    assert tile.dtype == np.uint16
+    assert tile.max() <= MAX_ITERS
+
+
+def test_mandel_tile_deterministic():
+    work = MandelWork(x0=-0.7, y0=0.2, scale=0.005, mean_iters=0)
+    np.testing.assert_array_equal(reference_tile(work),
+                                  reference_tile(work))
+
+
+# -- filterbank ----------------------------------------------------------
+
+def test_filterbank_short_signal():
+    """Signals shorter than the filter still process (guarded conv)."""
+    sig = RNG.standard_normal(N_SAMP)  # minimal length
+    h = RNG.standard_normal(32)
+    f = RNG.standard_normal(32)
+    out = reference_filterbank(sig, h, f)
+    assert out.shape == sig.shape
+    assert np.isfinite(out).all()
+
+
+def test_filterbank_zero_signal_gives_zero():
+    out = reference_filterbank(np.zeros(64), np.ones(8), np.ones(8))
+    np.testing.assert_array_equal(out, np.zeros(64))
+
+
+def test_filterbank_downsample_factor():
+    """Only every N_SAMP-th convolved sample survives the resampling
+    (the Fig. 1c zero-stuffed pipeline keeps n/N_samp values)."""
+    n = 128
+    sig = RNG.standard_normal(n)
+    delta = np.zeros(4)
+    delta[0] = 1.0
+    out = reference_filterbank(sig, delta, delta)
+    assert np.count_nonzero(out[n // N_SAMP:]) == 0
+
+
+# -- beamformer -------------------------------------------------------------
+
+def test_beamform_max_delay_boundary():
+    ch = RNG.standard_normal((2, 32))
+    delays = np.array([0, MAX_DELAY - 1])
+    weights = np.array([1.0, 1.0])
+    out = reference_beamform(ch, delays, weights)
+    # the delayed channel contributes nothing before its delay
+    np.testing.assert_allclose(out[: MAX_DELAY - 1],
+                               ch[0, : MAX_DELAY - 1])
+
+
+def test_beamform_zero_weights():
+    ch = RNG.standard_normal((3, 16))
+    out = reference_beamform(ch, np.zeros(3, dtype=int), np.zeros(3))
+    np.testing.assert_array_equal(out, np.zeros(16))
+
+
+# -- convolution -------------------------------------------------------------
+
+def test_convolve_border_uses_zero_padding():
+    img = np.ones((8, 8))
+    k = np.ones((KSIZE, KSIZE))
+    out = reference_convolve(img, k)
+    # interior sees the full 25-tap sum; the corner only 9 taps
+    assert out[4, 4] == pytest.approx(25.0)
+    assert out[0, 0] == pytest.approx(9.0)
+
+
+def test_convolve_linearity():
+    img_a = RNG.standard_normal((12, 12))
+    img_b = RNG.standard_normal((12, 12))
+    k = RNG.standard_normal((KSIZE, KSIZE))
+    lhs = reference_convolve(img_a + img_b, k)
+    rhs = reference_convolve(img_a, k) + reference_convolve(img_b, k)
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+
+# -- dct ------------------------------------------------------------------------
+
+def test_dct_energy_preservation():
+    """The orthonormal blockwise DCT preserves Frobenius norm."""
+    img = RNG.standard_normal((32, 32))
+    out = reference_dct(img)
+    assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(img))
+
+
+def test_dct_irregular_sizes_are_block_multiples():
+    w = REGISTRY.get("dct")
+    tasks = w.make_tasks(30, seed=13, irregular=True)
+    assert all(t.work.img % 8 == 0 for t in tasks)
+
+
+# -- geometry sanity across the suite ----------------------------------------
+
+@pytest.mark.parametrize("name", ["mb", "fb", "bf", "conv", "dct", "mm",
+                                  "3des"])
+def test_pagoda_geometry_constraint(name):
+    """Every benchmark's default block fits Pagoda's 31-executor MTB."""
+    for threads in (32, 128, 256):
+        task = REGISTRY.get(name).make_tasks(
+            1, threads_per_task=threads, seed=1)[0]
+        assert task.warps_per_block <= 31
+
+
+def test_mpe_components_keep_their_resource_needs():
+    tasks = REGISTRY.get("mpe").make_tasks(16, seed=2)
+    mm = [t for t in tasks if t.name.startswith("mm")]
+    fb = [t for t in tasks if t.name.startswith("fb")]
+    assert all(t.shared_mem_bytes > 0 for t in mm)
+    assert all(t.needs_sync for t in fb)
