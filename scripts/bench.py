@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Simulator-core perf trajectory: measure, record, and guard.
+
+Runs the hot-path scenarios of ``benchmarks/test_simulator_throughput.py``
+(engine ping-pong, processor-sharing churn, end-to-end Pagoda stack)
+plus a small Fig. 5 slice, and writes ``BENCH_simcore.json`` at the
+repo root so every PR leaves a perf data point behind.
+
+If a committed ``BENCH_simcore.json`` already exists, the fresh
+throughputs are compared against it first: any metric that regresses
+by more than ``REGRESSION_TOLERANCE`` (20 %) prints a warning and the
+script exits non-zero (pass ``--no-fail`` to downgrade to a warning
+only).  Wall-clock numbers are machine-dependent; the guard is meant
+to catch order-of-magnitude hot-path regressions, not scheduler noise
+— hence the generous tolerance and best-of-N timing.
+
+Usage::
+
+    python scripts/bench.py             # measure, check, rewrite JSON
+    python scripts/bench.py --no-fail   # never exit non-zero
+    python scripts/bench.py --check-only  # compare without rewriting
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import fig5  # noqa: E402
+from repro.core import PagodaConfig, run_pagoda  # noqa: E402
+from repro.gpu.phases import Phase  # noqa: E402
+from repro.sim import Engine, ProcessorSharing  # noqa: E402
+from repro.tasks import TaskSpec  # noqa: E402
+
+OUTPUT = ROOT / "BENCH_simcore.json"
+REGRESSION_TOLERANCE = 0.20
+FIG5_SLICE_TASKS = 48
+
+#: Seed-commit throughputs measured on the machine that recorded the
+#: first BENCH_simcore.json (best-of-run minima of the pytest-benchmark
+#: suite at the pre-optimization seed).  Kept so the recorded speedup
+#: of the simulation-core overhaul stays visible in the trajectory.
+SEED_BASELINE = {
+    "engine_events_per_s": 1_334_000.0,   # 20k ping-pong events / 15.0 ms
+    "ps_jobs_per_s": 19_470.0,            # 2k churn jobs / 102.7 ms
+    "pagoda_tasks_per_s": 5_535.0,        # 500 tasks / 90.3 ms
+}
+
+
+def _best_of(fn, repeats):
+    """(result, best wall seconds) over ``repeats`` timed calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def bench_engine_events(repeats: int = 5):
+    """Ping-pong of timers: pure event-loop overhead -> events/s."""
+    def run():
+        eng = Engine()
+
+        def ticker():
+            for _ in range(20_000):
+                yield 1.0
+
+        eng.spawn(ticker())
+        eng.run()
+        return eng.event_count
+
+    events, wall = _best_of(run, repeats)
+    return events / wall, wall
+
+
+def bench_ps_churn(repeats: int = 5):
+    """Arrival/departure churn on one PS pool -> jobs/s."""
+    def run():
+        eng = Engine()
+        ps = ProcessorSharing(eng, rate=4.0, per_job_cap=1.0)
+        done = []
+
+        def job(i):
+            yield ps.consume(10.0 + (i % 7))
+            done.append(i)
+
+        for i in range(2_000):
+            eng.spawn(job(i))
+        eng.run()
+        return len(done)
+
+    jobs, wall = _best_of(run, repeats)
+    return jobs / wall, wall
+
+
+def bench_pagoda_stack(repeats: int = 3):
+    """End-to-end tasks/s through MasterKernel + TaskTable + host."""
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=2_000, mem_bytes=256)
+
+    def run():
+        tasks = [TaskSpec(f"t{i}", 128, 1, kernel) for i in range(500)]
+        stats = run_pagoda(tasks, config=PagodaConfig(
+            copy_inputs=False, copy_outputs=False))
+        return len(stats.results)
+
+    completed, wall = _best_of(run, repeats)
+    return completed / wall, wall
+
+
+def bench_fig5_slice(repeats: int = 1):
+    """Small Fig. 5 slice: full multi-runtime sweep wall time."""
+    _, wall = _best_of(lambda: fig5.run(num_tasks=FIG5_SLICE_TASKS), repeats)
+    return wall
+
+
+def measure() -> dict:
+    """Run every scenario and assemble the record."""
+    events_per_s, events_wall = bench_engine_events()
+    jobs_per_s, ps_wall = bench_ps_churn()
+    tasks_per_s, pagoda_wall = bench_pagoda_stack()
+    fig5_wall = bench_fig5_slice()
+    metrics = {
+        "engine_events_per_s": round(events_per_s, 1),
+        "ps_jobs_per_s": round(jobs_per_s, 1),
+        "pagoda_tasks_per_s": round(tasks_per_s, 1),
+    }
+    return {
+        "metrics": metrics,
+        "wall_s": {
+            "engine_ping_pong": round(events_wall, 4),
+            "ps_churn": round(ps_wall, 4),
+            "pagoda_stack": round(pagoda_wall, 4),
+            f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
+        },
+        "speedup_vs_seed": {
+            key: round(metrics[key] / seed, 2)
+            for key, seed in SEED_BASELINE.items()
+        },
+        "seed_baseline": SEED_BASELINE,
+        "python": platform.python_version(),
+        "recorded_unix_time": int(time.time()),
+    }
+
+
+def check_regression(record: dict, baseline_path: pathlib.Path) -> list:
+    """Metrics that regressed >tolerance vs the committed baseline."""
+    if not baseline_path.exists():
+        return []
+    try:
+        baseline = json.loads(baseline_path.read_text())["metrics"]
+    except (ValueError, KeyError):
+        print(f"warning: unreadable baseline {baseline_path}; skipping check")
+        return []
+    regressed = []
+    for key, old in baseline.items():
+        new = record["metrics"].get(key)
+        if new is None or old <= 0:
+            continue
+        if new < old * (1.0 - REGRESSION_TOLERANCE):
+            regressed.append((key, old, new))
+    return regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--no-fail", action="store_true",
+                        help="warn on regression but exit 0")
+    parser.add_argument("--check-only", action="store_true",
+                        help="compare against the baseline without rewriting it")
+    parser.add_argument("--output", type=pathlib.Path, default=OUTPUT,
+                        help=f"record path (default: {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    record = measure()
+    for key, value in record["metrics"].items():
+        speedup = record["speedup_vs_seed"].get(key)
+        print(f"{key:>24}: {value:>14,.1f}  ({speedup:.2f}x vs seed)")
+    for key, value in record["wall_s"].items():
+        print(f"{key:>24}: {value:>12.3f} s")
+
+    regressed = check_regression(record, args.output)
+    if not args.check_only:
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if regressed:
+        print(f"\nWARNING: throughput regressed >"
+              f"{REGRESSION_TOLERANCE:.0%} vs committed baseline:")
+        for key, old, new in regressed:
+            print(f"  {key}: {old:,.1f} -> {new:,.1f} "
+                  f"({new / old - 1.0:+.1%})")
+        if not args.no_fail:
+            return 1
+    else:
+        print("perf check ok: no metric regressed "
+              f">{REGRESSION_TOLERANCE:.0%} vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

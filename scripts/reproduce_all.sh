@@ -3,18 +3,29 @@
 #
 #   scripts/reproduce_all.sh            # scaled (CI-speed) pass
 #   PAGODA_FULL=1 scripts/reproduce_all.sh   # paper-scale (hours)
+#   PAGODA_JOBS=8 scripts/reproduce_all.sh   # worker count for the sweep
 #
-# Produces test_output.txt, bench_output.txt, and per-artefact reports
-# under benchmarks/results/.
+# Produces test_output.txt, sweep_output.txt, bench_output.txt, and
+# per-artefact reports under benchmarks/results/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== unit / property / integration tests"
 python -m pytest tests/ 2>&1 | tee test_output.txt | tail -2
 
-echo "== every table & figure of the paper's evaluation"
+echo "== every table & figure, fanned across worker processes"
+# Each artefact is an independent deterministic sim, so the sweep is
+# embarrassingly parallel and produces the same result tables as a
+# serial run (repro.bench.parallel's determinism contract).
+python -m repro.bench all --parallel "${PAGODA_JOBS:-$(nproc)}" 2>&1 \
+    | tee sweep_output.txt | tail -3
+
+echo "== every table & figure of the paper's evaluation (timed suite)"
 python -m pytest benchmarks/ --benchmark-only 2>&1 \
     | tee bench_output.txt | tail -5
+
+echo "== simulator-core perf trajectory (BENCH_simcore.json)"
+python scripts/bench.py
 
 echo "== examples"
 for example in examples/*.py; do

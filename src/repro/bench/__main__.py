@@ -5,58 +5,23 @@ Run any paper artefact directly::
     python -m repro.bench fig5
     python -m repro.bench tab3 --tasks 1024
     python -m repro.bench all --tasks 256
+    python -m repro.bench all --parallel 8
 
 Reports print to stdout in the same paper-vs-measured format the
-benchmark suite records under ``benchmarks/results/``.
+benchmark suite records under ``benchmarks/results/``.  With
+``--parallel N`` the experiments fan out across N worker processes
+(each simulation is single-threaded and deterministic, so the result
+tables are identical to a serial run; only the wall-time lines
+differ).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.bench import (
-    ablations,
-    config_sweeps,
-    fig5,
-    latency_under_load,
-    priorities,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    tab3,
-    tab5,
-)
-
-EXPERIMENTS = {
-    "fig5": fig5, "fig6": fig6, "fig7": fig7, "fig8": fig8,
-    "fig9": fig9, "fig10": fig10, "fig11": fig11,
-    "tab3": tab3, "tab5": tab5, "ablations": ablations,
-    "load": latency_under_load,
-    "priorities": priorities,
-    "sweeps": config_sweeps,
-}
-
-#: experiments whose run() takes a num_tasks argument
-TASK_SIZED = {"fig5", "fig7", "fig9", "fig11", "tab3", "tab5",
-              "ablations", "load", "priorities", "sweeps"}
-
-
-def run_one(name: str, num_tasks: int | None) -> str:
-    """Run one named experiment and return its report text."""
-    module = EXPERIMENTS[name]
-    start = time.time()
-    if name in TASK_SIZED and num_tasks is not None:
-        results = module.run(num_tasks=num_tasks)
-    else:
-        results = module.run()
-    report = module.report(results)
-    wall = time.time() - start
-    return f"{report}\n[{name}: {wall:.1f}s wall]"
+from repro.bench.parallel import run_parallel
+from repro.bench.runner import EXPERIMENTS, TASK_SIZED, run_one  # noqa: F401  (TASK_SIZED re-exported for compatibility)
 
 
 def main(argv=None) -> int:
@@ -74,13 +39,25 @@ def main(argv=None) -> int:
         "--tasks", type=int, default=None,
         help="override the task count (where applicable)",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="fan independent experiments across N worker processes "
+             "(default: serial)",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
-    for name in names:
-        print(run_one(name, args.tasks))
-        print()
+    if args.parallel is not None:
+        if args.parallel < 1:
+            parser.error("--parallel must be >= 1")
+        for _name, report in run_parallel(names, args.tasks, args.parallel):
+            print(report)
+            print()
+    else:
+        for name in names:
+            print(run_one(name, args.tasks))
+            print()
     return 0
 
 

@@ -5,9 +5,18 @@ block slots, warp slots, registers, and shared memory.  Occupancy is
 resident warps divided by the warp-slot capacity — the paper's §2 worked
 examples (0.52 % for one 256-thread task, 16.67 % under HyperQ) fall out
 of these functions and are asserted in the test suite.
+
+All results are memoized on ``(spec, threads, regs, smem)``: benchmark
+sweeps re-launch thousands of kernels with identical shapes, and
+:class:`~repro.gpu.spec.GpuSpec` is a frozen (hashable) dataclass, so
+the calculator collapses to a dict hit on the launch hot path.  The
+cache is unbounded by design — the key space is the handful of distinct
+launch shapes an experiment uses.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.gpu.spec import WARP_SIZE, GpuSpec
 
@@ -19,6 +28,7 @@ def warps_per_block(threads_per_block: int) -> int:
     return -(-threads_per_block // WARP_SIZE)
 
 
+@lru_cache(maxsize=None)
 def registers_per_block(
     spec: GpuSpec, threads_per_block: int, regs_per_thread: int
 ) -> int:
@@ -36,6 +46,7 @@ def registers_per_block(
     return per_warp_rounded * warps_per_block(threads_per_block)
 
 
+@lru_cache(maxsize=None)
 def blocks_per_smm(
     spec: GpuSpec,
     threads_per_block: int,
@@ -60,6 +71,7 @@ def blocks_per_smm(
     return max(0, min(limit_slots, limit_warps, limit_regs, limit_smem))
 
 
+@lru_cache(maxsize=None)
 def occupancy(
     spec: GpuSpec,
     threads_per_block: int,

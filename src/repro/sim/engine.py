@@ -1,9 +1,9 @@
 """Event loop, simulated clock, and coroutine processes.
 
-The engine is deliberately minimal: a binary heap of ``(time, seq,
-callback)`` entries and a cooperative process abstraction on top.  A
-process is a Python generator; each ``yield`` hands control back to the
-engine together with a *command* describing when to resume:
+The engine is deliberately minimal: a priority queue of *slotted timer
+records* and a cooperative process abstraction on top.  A process is a
+Python generator; each ``yield`` hands control back to the engine
+together with a *command* describing when to resume:
 
 - a ``float``/``int`` or :class:`Delay` — resume after that much
   simulated time;
@@ -14,14 +14,43 @@ engine together with a *command* describing when to resume:
 Subroutines are plain generators invoked with ``yield from``; no extra
 machinery is needed, which keeps the per-event overhead low (the whole
 reproduction pushes millions of events through this loop).
+
+Hot-path design (the fast paths that make paper-scale runs practical):
+
+- **Slotted timer records.**  Heap entries are plain 5-tuples
+  ``(when, seq, kind, payload, value)``.  ``kind`` discriminates a bare
+  callback (``payload()``) from a process resume
+  (``_step(payload, value)``), so the common resume case allocates *no*
+  lambda closure — the seed implementation paid one closure plus one
+  3-tuple per event.  ``seq`` is unique, so heap comparisons never
+  reach the non-comparable payload.
+- **Ready ring.**  Zero-delay wakeups — process spawns, joins on
+  already-finished processes, and bounces through already-fired events
+  — skip the heap entirely and go onto a FIFO deque of
+  ``(seq, kind, payload, value)`` records at the *current* instant.
+  The run loop merges ring and heap by the global ``(when, seq)``
+  order (ring entries all carry ``when == now``), so observable event
+  ordering is bit-identical to the seed's all-heap behaviour while
+  same-timestamp wakeups cost O(1) instead of O(log n).
+- **Branch-first dispatch.**  ``_step`` inlines the command dispatch
+  and tests ``type(command) is float`` first — the overwhelmingly
+  common numeric-delay case pays a single pointer compare.
+- **Specialized run loops.**  ``run()`` with neither ``until`` nor
+  ``max_events`` takes an unguarded loop body; the ``None`` checks are
+  hoisted out so the common case pays nothing per event.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.events import Event
+
+#: ``kind`` values for slotted timer records.
+_FN = 0      # payload is a zero-argument callable
+_RESUME = 1  # payload is a Process; resume it with ``value``
 
 
 class Delay:
@@ -78,15 +107,34 @@ class Process:
 
     def interrupt(self, exc: Optional[BaseException] = None) -> None:
         """Kill the process.  Used to tear down daemon loops at the end
-        of an experiment (e.g. the MasterKernel's scheduler warps)."""
+        of an experiment (e.g. the MasterKernel's scheduler warps).
+
+        The engine's live-process count is settled here: a process
+        blocked on an event that never fires has no scheduled resume,
+        so deferring the decrement to the next ``_step`` (as the seed
+        did) leaked the live count and made
+        :meth:`Engine.run_until_idle_processes` spin past the true
+        idle point.
+        """
         if not self.alive:
             return
         self.alive = False
         self._done = True
+        self.engine._nlive -= 1
         self.gen.close()
         waiters, self._waiters = self._waiters, []
         for wake in waiters:
             wake(None)
+
+    def __call__(self, value: Any = None) -> None:
+        """Wake the process with ``value``.
+
+        A process doubles as its own wake callback: the engine enrolls
+        the process object directly as an event/join waiter instead of
+        allocating a closure per wait — event waits are the dominant
+        command on the Pagoda control path.
+        """
+        self.engine._step(self, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "done"
@@ -103,7 +151,8 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list = []
+        self._queue: list = []    # heap of (when, seq, kind, payload, value)
+        self._ready: deque = deque()  # ring of (seq, kind, payload, value)
         self._seq = 0
         self._nlive = 0
         self.event_count = 0
@@ -115,7 +164,7 @@ class Engine:
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, fn))
+        heapq.heappush(self._queue, (when, self._seq, _FN, fn, None))
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` after ``delay`` simulated time units."""
@@ -127,38 +176,64 @@ class Engine:
         """Start a generator as a process on the next engine step."""
         proc = Process(self, gen, name)
         self._nlive += 1
-        self.call_after(0.0, lambda: self._step(proc, None))
+        self._seq += 1
+        self._ready.append((self._seq, _RESUME, proc, None))
         return proc
 
     def _step(self, proc: Process, value: Any) -> None:
+        """Resume ``proc`` with ``value`` (the waiter-callback entry
+        point; the run loops inline an equivalent fast path)."""
         if not proc.alive:
-            self._nlive -= 1
-            return
+            return  # interrupted; interrupt() already settled _nlive
         try:
             command = proc.gen.send(value)
         except StopIteration as stop:
             self._nlive -= 1
             proc._finish(stop.value)
             return
-        self._dispatch(proc, command)
+        # Branch-first dispatch: the common numeric-delay case pays one
+        # pointer compare and one heap push — no closures.
+        if type(command) is float:
+            if command < 0.0:
+                raise ValueError(f"cannot schedule in the past: {command!r}")
+            self._seq += 1
+            heapq.heappush(
+                self._queue, (self.now + command, self._seq, _RESUME, proc, None)
+            )
+        else:
+            self._dispatch_slow(proc, command)
 
-    def _dispatch(self, proc: Process, command: Any) -> None:
-        if isinstance(command, (int, float)):
-            self.call_after(float(command), lambda: self._step(proc, None))
-        elif isinstance(command, Event):
+    def _dispatch_slow(self, proc: Process, command: Any) -> None:
+        """Dispatch every non-``float`` yield command."""
+        if isinstance(command, Event):
             if command.fired:
-                # Bounce through the queue: waiting on a long chain of
-                # already-fired events must not recurse the C stack.
-                self.call_after(0.0, lambda: self._step(proc, command.value))
+                # Bounce through the ready ring: waiting on a long chain
+                # of already-fired events must not recurse the C stack.
+                self._seq += 1
+                self._ready.append((self._seq, _RESUME, proc, command.value))
             else:
-                command._add_waiter(lambda v: self._step(proc, v))
+                command._add_waiter(proc)
+        elif isinstance(command, (int, float)):
+            # int, bool, and float subclasses (e.g. numpy.float64)
+            if command < 0:
+                raise ValueError(f"negative delay: {command!r}")
+            self._seq += 1
+            heapq.heappush(
+                self._queue,
+                (self.now + float(command), self._seq, _RESUME, proc, None),
+            )
         elif isinstance(command, Delay):
-            self.call_after(command.duration, lambda: self._step(proc, None))
+            self._seq += 1
+            heapq.heappush(
+                self._queue,
+                (self.now + command.duration, self._seq, _RESUME, proc, None),
+            )
         elif isinstance(command, Process):
             if command._done:
-                self.call_after(0.0, lambda: self._step(proc, command.result))
+                self._seq += 1
+                self._ready.append((self._seq, _RESUME, proc, command.result))
             else:
-                command._on_done(lambda v: self._step(proc, v))
+                command._on_done(proc)
         else:
             raise TypeError(
                 f"process {proc.name!r} yielded unsupported command: {command!r}"
@@ -173,20 +248,94 @@ class Engine:
         ``until``, or after ``max_events`` callbacks (a runaway guard for
         tests).  Returns the final clock value.
         """
+        if until is None and max_events is None:
+            return self._run_unguarded()
+        return self._run_guarded(until, max_events)
+
+    def _run_unguarded(self) -> float:
+        """Tight loop for the common ``run()`` call: no bound checks.
+
+        The process-resume fast path (send a value, get a numeric delay
+        back, push one slotted record) is inlined here — one Python
+        frame per event instead of three; non-numeric commands fall
+        back to :meth:`_step`'s shared dispatch via
+        :meth:`_dispatch_slow`.
+        """
         queue = self._queue
+        ready = self._ready
+        pop = heapq.heappop
+        push = heapq.heappush
+        popleft = ready.popleft
+        slow = self._dispatch_slow
+        now = self.now
         count = 0
-        while queue:
-            when, _seq, fn = queue[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(queue)
-            self.now = when
-            fn()
-            count += 1
-            self.event_count += 1
-            if max_events is not None and count >= max_events:
-                break
+        try:
+            while queue or ready:
+                # Merge ring and heap by global (when, seq) order: ring
+                # records sit at the current instant, so a heap record
+                # goes first only when it is also due now with an
+                # earlier sequence number.
+                if ready and not (
+                    queue and queue[0][0] <= now and queue[0][1] < ready[0][0]
+                ):
+                    _seq, kind, payload, value = popleft()
+                else:
+                    when, _seq, kind, payload, value = pop(queue)
+                    self.now = now = when
+                count += 1
+                if kind:
+                    if payload.alive:
+                        try:
+                            command = payload.gen.send(value)
+                        except StopIteration as stop:
+                            self._nlive -= 1
+                            payload._finish(stop.value)
+                            continue
+                        if type(command) is float:
+                            if command < 0.0:
+                                raise ValueError(
+                                    f"cannot schedule in the past: {command!r}"
+                                )
+                            self._seq = seq = self._seq + 1
+                            push(queue, (now + command, seq, _RESUME, payload, None))
+                        else:
+                            slow(payload, command)
+                else:
+                    payload()
+        finally:
+            self.event_count += count
+        return self.now
+
+    def _run_guarded(self, until: Optional[float],
+                     max_events: Optional[int]) -> float:
+        """Loop body for bounded runs (``until``/``max_events`` given)."""
+        queue = self._queue
+        ready = self._ready
+        pop = heapq.heappop
+        step = self._step
+        now = self.now
+        count = 0
+        try:
+            while queue or ready:
+                if ready and not (
+                    queue and queue[0][0] <= now and queue[0][1] < ready[0][0]
+                ):
+                    _seq, kind, payload, value = ready.popleft()
+                else:
+                    if until is not None and queue[0][0] > until:
+                        self.now = until
+                        break
+                    when, _seq, kind, payload, value = pop(queue)
+                    self.now = now = when
+                if kind:
+                    step(payload, value)
+                else:
+                    payload()
+                count += 1
+                if max_events is not None and count >= max_events:
+                    break
+        finally:
+            self.event_count += count
         return self.now
 
     def run_until_idle_processes(self, until: Optional[float] = None) -> float:
@@ -197,15 +346,30 @@ class Engine:
         that keep re-arming timers.
         """
         queue = self._queue
-        while queue and self._nlive > 0:
-            when, _seq, fn = queue[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(queue)
-            self.now = when
-            fn()
-            self.event_count += 1
+        ready = self._ready
+        pop = heapq.heappop
+        step = self._step
+        now = self.now
+        count = 0
+        try:
+            while (queue or ready) and self._nlive > 0:
+                if ready and not (
+                    queue and queue[0][0] <= now and queue[0][1] < ready[0][0]
+                ):
+                    _seq, kind, payload, value = ready.popleft()
+                else:
+                    if until is not None and queue[0][0] > until:
+                        self.now = until
+                        break
+                    when, _seq, kind, payload, value = pop(queue)
+                    self.now = now = when
+                if kind:
+                    step(payload, value)
+                else:
+                    payload()
+                count += 1
+        finally:
+            self.event_count += count
         return self.now
 
     def timeout(self, delay: float, value: Any = None) -> Event:

@@ -7,7 +7,7 @@ wakeups happen at the current simulated instant, preserving causality.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional
 
 
 class Event:
@@ -23,11 +23,16 @@ class Event:
     def __init__(self) -> None:
         self.fired = False
         self.value: Any = None
-        self._waiters: List[Callable[[Any], None]] = []
+        # Lazily allocated: most events fire with zero or one waiter,
+        # and the hot paths (ProcessorSharing completions, FIFO grants)
+        # create events by the million.
+        self._waiters: Optional[List[Callable[[Any], None]]] = None
 
     def _add_waiter(self, wake: Callable[[Any], None]) -> None:
         if self.fired:
             wake(self.value)
+        elif self._waiters is None:
+            self._waiters = [wake]
         else:
             self._waiters.append(wake)
 
@@ -37,9 +42,11 @@ class Event:
             raise RuntimeError("Event fired twice")
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for wake in waiters:
-            wake(value)
+        waiters = self._waiters
+        if waiters is not None:
+            self._waiters = None
+            for wake in waiters:
+                wake(value)
 
 
 def any_of(events) -> Event:

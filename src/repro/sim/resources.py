@@ -8,17 +8,20 @@ link are all "a pool of rate, fairly shared, with a per-customer cap":
 - DRAM: total bytes/ns shared by all resident warps;
 - PCIe: total bytes/ns shared by in-flight transfers.
 
-The implementation is event-driven: state only changes on arrival or
-departure, at which point every active job's remaining work is advanced
-by ``elapsed * rate`` and the next completion is (re)scheduled.  Cost is
-O(active jobs) per change, and active jobs are bounded by hardware limits
-(64 warps per SMM), keeping full experiments tractable.
+The implementation uses the classic *virtual-time* (fluid-queue)
+formulation: instead of rescanning every active job's remaining work on
+each arrival and departure (the seed's O(active jobs) cost), the pool
+tracks a single virtual clock ``V`` that accumulates per-job service.
+A job arriving with ``w`` units of work finishes when ``V`` reaches
+``V_arrival + w``, so arrivals are one heap push and departures one
+heap pop — O(log n) per state change regardless of churn.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Any, Deque, Dict, Generator, Optional
+from typing import Any, Deque, Generator, List, Optional, Tuple
 
 from repro.sim.engine import Engine
 from repro.sim.events import Event
@@ -72,16 +75,32 @@ class FifoResource:
     def use(self, duration: float) -> Generator:
         """Subroutine: hold one server for ``duration``.
 
-        Use as ``yield from resource.use(t)``.
+        Use as ``yield from resource.use(t)``.  The server is released
+        even if the holding process is interrupted mid-hold: the
+        engine's ``gen.close()`` raises ``GeneratorExit`` at the
+        ``yield``, and the ``finally`` hands the server back (the seed
+        leaked it, starving every later acquirer).
         """
         yield self.acquire()
-        yield duration
-        self.release()
+        try:
+            yield duration
+        finally:
+            self.release()
 
     @property
     def queue_length(self) -> int:
         """Requests currently waiting for a server."""
         return len(self._waiting)
+
+
+#: Rebase threshold for the virtual clock.  Remaining work is computed
+#: as ``finish_v - V``; once ``V`` grows large the subtraction loses
+#: absolute precision (catastrophic cancellation), so when ``V`` passes
+#: this bound every queued finish tag is shifted down by ``V`` and the
+#: clock restarts at zero.  At 2**20 the worst-case absolute error of a
+#: shifted tag is ~2**-33, far below ``_EPS``.  The shift is uniform
+#: and monotone, so heap order is preserved.
+_REBASE_V = float(2 ** 20)
 
 
 class ProcessorSharing:
@@ -90,6 +109,18 @@ class ProcessorSharing:
     ``rate`` is work units per time unit for the whole pool; each job
     receives ``min(per_job_cap, rate / n_active)``.  ``consume(amount)``
     returns an event that fires when the job's work has been served.
+
+    Internally this is the classic virtual-time fluid queue: because
+    every active job receives the *same* instantaneous rate, the pool
+    only needs one cumulative per-job service clock ``V`` (``dV/dt =
+    min(cap, rate/n)``).  A job arriving when the clock reads ``V`` with
+    ``w`` units of work is tagged ``finish_v = V + w`` and completes
+    when ``V`` reaches its tag; a min-heap on the tags yields the next
+    completion.  Arrivals and departures are O(log n) — the seed
+    implementation rescanned all active jobs on every state change,
+    which was quadratic under churn.  Completion *order* and timer
+    semantics (``_MIN_ETA`` forward-progress floor, grouped completions
+    within ``_EPS``, arrival-order firing) match the seed exactly.
     """
 
     def __init__(
@@ -105,57 +136,69 @@ class ProcessorSharing:
         self.rate = rate
         self.per_job_cap = per_job_cap if per_job_cap is not None else rate
         self.name = name
-        self._jobs: Dict[int, list] = {}  # id -> [remaining, Event]
+        #: min-heap of (finish_v, seq, Event); seq breaks ties in
+        #: arrival order
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._v = 0.0  # virtual time: cumulative per-job service
         self._next_id = 0
         self._last_update = 0.0
         self._timer_version = 0
         # time-weighted busy integral for utilization reporting
         self._busy_integral = 0.0
-        self._busy_since = 0.0
 
     # -- internal -------------------------------------------------------------
 
     def _job_rate(self) -> float:
-        n = len(self._jobs)
+        n = len(self._heap)
         if n == 0:
             return 0.0
         return min(self.per_job_cap, self.rate / n)
 
     def _advance(self) -> None:
-        """Charge elapsed service time against every active job."""
+        """Advance the virtual clock by the elapsed per-job service."""
         now = self.engine.now
         elapsed = now - self._last_update
-        if elapsed > 0 and self._jobs:
-            served = elapsed * self._job_rate()
-            for job in self._jobs.values():
-                job[0] -= served
+        n = len(self._heap)
+        if elapsed > 0 and n:
+            self._v += elapsed * min(self.per_job_cap, self.rate / n)
             self._busy_integral += elapsed * min(
-                self.rate, len(self._jobs) * self.per_job_cap
+                self.rate, n * self.per_job_cap
             )
         self._last_update = now
 
+    def _rebase(self) -> None:
+        """Shift all finish tags down by ``V`` and restart the clock."""
+        v = self._v
+        self._heap = [(fv - v, seq, ev) for fv, seq, ev in self._heap]
+        self._v = 0.0
+
     def _reschedule(self) -> None:
         self._timer_version += 1
-        if not self._jobs:
+        if not self._heap:
+            self._v = 0.0  # idle pool: cheap exact rebase
             return
+        if self._v > _REBASE_V:
+            self._rebase()
         version = self._timer_version
-        job_rate = self._job_rate()
-        shortest = min(job[0] for job in self._jobs.values())
-        eta = max(max(shortest, 0.0) / job_rate, _MIN_ETA)
+        shortest = self._heap[0][0] - self._v
+        eta = max(max(shortest, 0.0) / self._job_rate(), _MIN_ETA)
         self.engine.call_after(eta, lambda: self._on_timer(version))
 
     def _on_timer(self, version: int) -> None:
         if version != self._timer_version:
             return  # stale timer; a newer reschedule superseded it
         self._advance()
-        finished = [
-            (jid, job) for jid, job in self._jobs.items() if job[0] <= _EPS
-        ]
-        for jid, _job in finished:
-            del self._jobs[jid]
+        heap = self._heap
+        threshold = self._v + _EPS
+        finished = []
+        while heap and heap[0][0] <= threshold:
+            finished.append(heapq.heappop(heap))
         self._reschedule()
-        for _jid, job in finished:
-            job[1].fire(None)
+        # fire in arrival order (the seed iterated its job dict in
+        # insertion order), not in finish-tag order
+        finished.sort(key=lambda item: item[1])
+        for _fv, _seq, ev in finished:
+            ev.fire(None)
 
     # -- public ---------------------------------------------------------------
 
@@ -169,14 +212,14 @@ class ProcessorSharing:
             return ev
         self._advance()
         self._next_id += 1
-        self._jobs[self._next_id] = [float(amount), ev]
+        heapq.heappush(self._heap, (self._v + float(amount), self._next_id, ev))
         self._reschedule()
         return ev
 
     @property
     def active_jobs(self) -> int:
         """Jobs currently receiving service."""
-        return len(self._jobs)
+        return len(self._heap)
 
     def utilization(self) -> float:
         """Fraction of the pool's rate used, averaged over elapsed time."""

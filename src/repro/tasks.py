@@ -58,17 +58,18 @@ class TaskSpec:
     #: are picked first when a scheduler warp has several schedulable
     #: TaskTable rows.  0 = the paper's FIFO-by-row behaviour.
     priority: int = 0
+    #: Warps per threadblock (threads rounded up to 32).  Derived from
+    #: ``threads_per_block`` once at construction: schedulers and
+    #: per-warp loops read it millions of times per run, and launch
+    #: geometry is immutable after a task is spawned.
+    warps_per_block: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.threads_per_block < 1:
             raise ValueError("threads_per_block must be >= 1")
         if self.num_blocks < 1:
             raise ValueError("num_blocks must be >= 1")
-
-    @property
-    def warps_per_block(self) -> int:
-        """Warps per threadblock (threads rounded up to 32)."""
-        return warps_per_block(self.threads_per_block)
+        self.warps_per_block = warps_per_block(self.threads_per_block)
 
     @property
     def total_warps(self) -> int:

@@ -303,3 +303,44 @@ def test_engine_handles_many_simultaneous_wakeups():
     eng.call_after(1.0, lambda: ev.fire(None))
     eng.run()
     assert len(woken) == 2000
+
+
+def test_interrupt_blocked_process_settles_live_count():
+    """Interrupting a process parked on an unfired Event must decrement
+    the engine's live count immediately.
+
+    Regression test: the seed decremented ``_nlive`` only inside
+    ``_step``, which never runs for a process with no scheduled resume,
+    so ``run_until_idle_processes`` kept draining unrelated timers
+    until the queue emptied (or ``until``) after such an interrupt.
+    """
+    eng = Engine()
+
+    def blocked():
+        yield Event()  # never fires
+
+    def rearm():
+        eng.call_after(10.0, rearm)  # keeps the queue non-empty forever
+
+    eng.call_after(10.0, rearm)
+    proc = eng.spawn(blocked())
+    eng.call_after(15.0, proc.interrupt)
+    end = eng.run_until_idle_processes(until=1000.0)
+    assert not proc.alive
+    # stops at the next queue pop after the interrupt, not at until=1000
+    assert end < 100.0
+
+
+def test_interrupt_then_idle_run_with_empty_queue():
+    """After interrupting the only process, an idle-run returns at once."""
+    eng = Engine()
+
+    def blocked():
+        yield Event()
+
+    proc = eng.spawn(blocked())
+    eng.run()  # parks the process on the event; queue drains
+    proc.interrupt()
+    end = eng.run_until_idle_processes(until=500.0)
+    assert end == eng.now
+    assert end < 500.0

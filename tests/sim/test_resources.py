@@ -328,3 +328,31 @@ def test_ps_many_jobs_high_churn_terminates():
                       float(rng.uniform(0, 100))))
     eng.run(max_events=1_000_000)
     assert len(done) == 300
+
+
+def test_fifo_use_releases_server_on_interrupt():
+    """A holder interrupted mid-``use()`` must hand its server back.
+
+    Regression test: the seed's ``use()`` had no try/finally, so
+    ``gen.close()`` at the ``yield`` leaked the server and starved
+    every later acquirer of a capacity-1 resource.
+    """
+    eng = Engine()
+    res = FifoResource(eng, 1)
+    ends = []
+
+    def holder():
+        yield from res.use(100.0)
+        ends.append(("holder", eng.now))  # pragma: no cover
+
+    def successor():
+        yield 5.0
+        yield from res.use(2.0)
+        ends.append(("successor", eng.now))
+
+    victim = eng.spawn(holder())
+    eng.spawn(successor())
+    eng.call_after(10.0, victim.interrupt)
+    eng.run()
+    assert ends == [("successor", 12.0)]
+    assert res.in_use == 0
