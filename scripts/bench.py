@@ -2,9 +2,11 @@
 """Simulator-core perf trajectory: measure, record, and guard.
 
 Runs the hot-path scenarios of ``benchmarks/test_simulator_throughput.py``
-(engine ping-pong, processor-sharing churn, end-to-end Pagoda stack)
-plus a small Fig. 5 slice, and writes ``BENCH_simcore.json`` at the
-repo root so every PR leaves a perf data point behind.
+(engine ping-pong, processor-sharing churn, end-to-end Pagoda stack),
+microbenchmarks of the indexed runtime structures (scheduler dirty-row
+wakes, WarpTable dispatch/retire), plus a small Fig. 5 slice, and
+writes ``BENCH_simcore.json`` at the repo root so every PR leaves a
+perf data point behind.
 
 If a committed ``BENCH_simcore.json`` already exists, the fresh
 throughputs are compared against it first: any metric that regresses
@@ -18,12 +20,13 @@ Usage::
 
     python scripts/bench.py             # measure, check, rewrite JSON
     python scripts/bench.py --no-fail   # never exit non-zero
-    python scripts/bench.py --check-only  # compare without rewriting
+    python scripts/bench.py --check     # compare without rewriting
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import pathlib
 import platform
@@ -55,13 +58,25 @@ SEED_BASELINE = {
 
 
 def _best_of(fn, repeats):
-    """(result, best wall seconds) over ``repeats`` timed calls."""
+    """(result, best wall seconds) over ``repeats`` timed calls.
+
+    The cyclic collector is drained before and paused during each
+    timed call: scenarios run back-to-back in one process, and without
+    this the garbage of one scenario is collected inside the timing
+    window of the next (observed as a spurious ~25% slowdown of the
+    Pagoda stack when measured after the PS churn).
+    """
     best = float("inf")
     result = None
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            gc.enable()
     return result, best
 
 
@@ -117,6 +132,74 @@ def bench_pagoda_stack(repeats: int = 3):
     return completed / wall, wall
 
 
+def bench_scheduler_wakes(repeats: int = 5):
+    """Dirty-row mark/drain churn on a TaskTable -> wakes/s.
+
+    Models the scheduler-warp wake path: writers flag random rows of a
+    column, one wake claims the column's whole mask and walks only the
+    set bits — the O(changed) replacement for the seed's 32-row rescan.
+    """
+    from repro.core.tasktable import TaskTable
+    from repro.gpu.timing import TimingModel
+    from repro.pcie.bus import PcieBus
+
+    WAKES = 20_000
+    ROWS = 32
+
+    def run():
+        eng = Engine()
+        table = TaskTable(eng, PcieBus(eng, TimingModel()), 48, rows=ROWS)
+        mark = table.mark_row_dirty
+        take = table.take_dirty_rows
+        visited = 0
+        # a deterministic pseudo-random row stream (LCG; no RNG dep)
+        state = 0x2545F491
+        for wake in range(WAKES):
+            col = wake % 48
+            for _ in range(3):  # three writers per wake, typical load
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                mark(col, state % ROWS)
+            mask = take(col)
+            while mask:
+                mask &= mask - 1
+                visited += 1
+        return WAKES
+
+    wakes, wall = _best_of(run, repeats)
+    return wakes / wall, wall
+
+
+def bench_warptable_churn(repeats: int = 5):
+    """Dispatch/retire churn on one WarpTable -> dispatches/s.
+
+    Models pSched's inner loop: pick the lowest free slot from the
+    ballot word, fill it, retire another — the O(1) replacement for the
+    seed's materialized free-list rebuild per placement.
+    """
+    from repro.core.warptable import WarpTable
+
+    OPS = 50_000
+
+    def run():
+        wt = WarpTable()
+        dispatch = wt.dispatch
+        retire = wt.retire
+        lowest = wt.lowest_free
+        busy = []
+        for op in range(OPS):
+            if busy and (op & 3) == 3 or wt.free_count == 0:
+                retire(busy.pop())
+            else:
+                slot = lowest()
+                dispatch(slot, warp_id=op & 31, e_num=op & 31,
+                         sm_index=0, bar_id=-1, block_id=0)
+                busy.append(slot)
+        return OPS
+
+    ops, wall = _best_of(run, repeats)
+    return ops / wall, wall
+
+
 def bench_fig5_slice(repeats: int = 1):
     """Small Fig. 5 slice: full multi-runtime sweep wall time."""
     _, wall = _best_of(lambda: fig5.run(num_tasks=FIG5_SLICE_TASKS), repeats)
@@ -128,11 +211,15 @@ def measure() -> dict:
     events_per_s, events_wall = bench_engine_events()
     jobs_per_s, ps_wall = bench_ps_churn()
     tasks_per_s, pagoda_wall = bench_pagoda_stack()
+    wakes_per_s, wakes_wall = bench_scheduler_wakes()
+    warp_ops_per_s, warp_wall = bench_warptable_churn()
     fig5_wall = bench_fig5_slice()
     metrics = {
         "engine_events_per_s": round(events_per_s, 1),
         "ps_jobs_per_s": round(jobs_per_s, 1),
         "pagoda_tasks_per_s": round(tasks_per_s, 1),
+        "scheduler_wakes_per_s": round(wakes_per_s, 1),
+        "warptable_ops_per_s": round(warp_ops_per_s, 1),
     }
     return {
         "metrics": metrics,
@@ -140,11 +227,16 @@ def measure() -> dict:
             "engine_ping_pong": round(events_wall, 4),
             "ps_churn": round(ps_wall, 4),
             "pagoda_stack": round(pagoda_wall, 4),
+            "scheduler_wakes": round(wakes_wall, 4),
+            "warptable_churn": round(warp_wall, 4),
             f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
         },
+        # metrics introduced after the seed commit have no seed number
+        # to compare against and are simply absent here
         "speedup_vs_seed": {
             key: round(metrics[key] / seed, 2)
             for key, seed in SEED_BASELINE.items()
+            if key in metrics
         },
         "seed_baseline": SEED_BASELINE,
         "python": platform.python_version(),
@@ -175,7 +267,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--no-fail", action="store_true",
                         help="warn on regression but exit 0")
-    parser.add_argument("--check-only", action="store_true",
+    parser.add_argument("--check", "--check-only", dest="check_only",
+                        action="store_true",
                         help="compare against the baseline without rewriting it")
     parser.add_argument("--output", type=pathlib.Path, default=OUTPUT,
                         help=f"record path (default: {OUTPUT})")
@@ -184,7 +277,8 @@ def main(argv=None) -> int:
     record = measure()
     for key, value in record["metrics"].items():
         speedup = record["speedup_vs_seed"].get(key)
-        print(f"{key:>24}: {value:>14,.1f}  ({speedup:.2f}x vs seed)")
+        vs_seed = f"({speedup:.2f}x vs seed)" if speedup else "(no seed ref)"
+        print(f"{key:>24}: {value:>14,.1f}  {vs_seed}")
     for key, value in record["wall_s"].items():
         print(f"{key:>24}: {value:>12.3f} s")
 

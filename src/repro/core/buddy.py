@@ -10,9 +10,34 @@ the paper's buddy-system variant:
 - a *marked* node is allocated; the structural invariant is "if a node
   is marked, its parent is marked";
 - allocation finds a free node on the level whose size fits, marks it,
-  and then marks **all its ancestors and descendants**;
+  and its ancestors and descendants;
 - deallocation unmarks the node and its descendants, then walks up
   unmarking each parent whose *other* child (the sibling) is free.
+
+The implementation here keeps the tree *implicit*: instead of a
+materialized mark array updated with per-node loops over
+``range(first, last + 1)`` and whole subtrees, it stores one free-mask
+integer per level.  Bit ``i`` of ``_free_mask[level]`` set means node
+``(1 << level) + i`` is a **maximal free block** — fully free and not
+coalescible with its buddy.  This is interval arithmetic over the
+implicit tree:
+
+- ``alloc`` looks at one lowest-set-bit per level (≤ ``levels`` words)
+  to find the leftmost free interval that fits, then claims it by
+  clearing one bit and setting one right-sibling bit per split — O(log
+  n) with no subtree walks;
+- ``free`` sets one bit and merges buddies upward bit-by-bit —
+  O(log n);
+- a node's paper-semantics *mark* state is derived on demand: a node is
+  unmarked exactly when some ancestor-or-self is a maximal free block.
+
+The observable behavior (returned offsets, byte accounting, per-node
+mark state) is bit-identical to the materialized seed implementation,
+now frozen as
+:class:`repro.core.reference.ReferenceBuddyAllocator`; the
+differential test in ``tests/core/test_buddy_differential.py`` drives
+both through randomized operation sequences and compares every
+observable after every step.
 
 Deallocation is deferred (§4.3): executor warps cannot free shared
 memory themselves (they would race the scheduler warp's allocations),
@@ -27,7 +52,7 @@ from typing import Dict, List, Optional
 
 
 class BuddyAllocator:
-    """Array-backed buddy tree over a shared-memory arena."""
+    """Implicit buddy tree with per-level free-interval masks."""
 
     def __init__(self, capacity: int = 32 * 1024, granule: int = 512) -> None:
         if capacity <= 0 or granule <= 0:
@@ -40,8 +65,10 @@ class BuddyAllocator:
         self.capacity = capacity
         self.granule = granule
         self.levels = leaves.bit_length()  # root level 0 .. leaves level-1
-        # 1-indexed heap array: node n has children 2n, 2n+1.
-        self._marked: List[bool] = [False] * (2 * leaves)
+        #: per-level bitmask of maximal free blocks; level ``l`` bit
+        #: ``i`` covers bytes [i * (capacity >> l), (i+1) * (capacity >> l)).
+        self._free_mask: List[int] = [0] * self.levels
+        self._free_mask[0] = 1  # the whole arena is one free interval
         self._live: Dict[int, int] = {}  # offset -> node index
         self._deferred: List[int] = []  # offsets marked for deallocation
         self.allocated_bytes = 0
@@ -77,40 +104,39 @@ class BuddyAllocator:
     def alloc(self, size: int) -> Optional[int]:
         """Allocate ``size`` bytes; returns the arena offset or ``None``.
 
-        The scheduler warp retries after flushing deferred frees when
-        this returns ``None`` (Algorithm 1 lines 21-24).
+        First fit, leftmost: the lowest arena offset whose free interval
+        is large enough — the same node the seed implementation's
+        left-to-right level scan would pick.  The scheduler warp retries
+        after flushing deferred frees when this returns ``None``
+        (Algorithm 1 lines 21-24).
         """
         level = self._level_of_size(size)
-        first = 1 << level
-        last = (1 << (level + 1)) - 1
-        for node in range(first, last + 1):
-            if not self._marked[node]:
-                self._mark_alloc(node)
-                offset = self.node_offset(node)
-                self._live[offset] = node
-                self.allocated_bytes += self.node_size(node)
-                return offset
-        return None
-
-    def _mark_alloc(self, node: int) -> None:
-        # ancestors
-        n = node
-        while n >= 1:
-            self._marked[n] = True
-            n //= 2
-        # descendants (subtree)
-        self._mark_subtree(node, True)
-
-    def _mark_subtree(self, node: int, value: bool) -> None:
-        stack = [node]
-        size = len(self._marked)
-        while stack:
-            n = stack.pop()
-            self._marked[n] = value
-            child = 2 * n
-            if child < size:
-                stack.append(child)
-                stack.append(child + 1)
+        best_off = -1
+        best_level = -1
+        for lv in range(level + 1):
+            mask = self._free_mask[lv]
+            if not mask:
+                continue
+            idx = (mask & -mask).bit_length() - 1
+            off = idx * (self.capacity >> lv)
+            if best_off < 0 or off < best_off:
+                best_off = off
+                best_level = lv
+        if best_off < 0:
+            return None
+        # claim the covering free interval ...
+        idx = best_off // (self.capacity >> best_level)
+        self._free_mask[best_level] ^= 1 << idx
+        # ... and split down to the target level: each split keeps the
+        # left child (the leftmost descendant is the node the seed scan
+        # returns) and free-lists the right sibling.
+        node = (1 << best_level) + idx
+        for lv in range(best_level + 1, level + 1):
+            node <<= 1
+            self._free_mask[lv] |= 1 << ((node | 1) - (1 << lv))
+        self._live[best_off] = node
+        self.allocated_bytes += self.capacity >> level
+        return best_off
 
     # -- deallocation ---------------------------------------------------------
 
@@ -123,9 +149,10 @@ class BuddyAllocator:
     def flush_deferred(self) -> int:
         """Scheduler-warp side: free everything marked; returns count."""
         count = len(self._deferred)
-        deferred, self._deferred = self._deferred, []
-        for offset in deferred:
-            self.free(offset)
+        if count:
+            deferred, self._deferred = self._deferred, []
+            for offset in deferred:
+                self.free(offset)
         return count
 
     def free(self, offset: int) -> None:
@@ -133,17 +160,15 @@ class BuddyAllocator:
         node = self._live.pop(offset, None)
         if node is None:
             raise ValueError(f"offset {offset} is not allocated")
-        self.allocated_bytes -= self.node_size(node)
-        # unmark descendants and the node itself
-        self._mark_subtree(node, False)
-        # walk up: unmark parent while sibling is free
-        n = node
-        while n > 1:
-            sibling = n ^ 1
-            if self._marked[sibling]:
-                break
-            n //= 2
-            self._marked[n] = False
+        level = node.bit_length() - 1
+        self.allocated_bytes -= self.capacity >> level
+        # merge upward: while the buddy interval is also free, absorb it
+        idx = node - (1 << level)
+        while level > 0 and (self._free_mask[level] >> (idx ^ 1)) & 1:
+            self._free_mask[level] &= ~(1 << (idx ^ 1))
+            idx >>= 1
+            level -= 1
+        self._free_mask[level] |= 1 << idx
 
     # -- introspection ---------------------------------------------------------
 
@@ -163,21 +188,72 @@ class BuddyAllocator:
         return len(self._deferred)
 
     def is_marked(self, node: int) -> bool:
-        """Whether a tree node is marked allocated."""
-        return self._marked[node]
+        """Whether a tree node is marked allocated (paper semantics).
+
+        A node is unmarked exactly when its interval is entirely free,
+        i.e. some ancestor-or-self is a maximal free block.
+        """
+        n = node
+        while n >= 1:
+            level = n.bit_length() - 1
+            if (self._free_mask[level] >> (n - (1 << level))) & 1:
+                return False
+            n >>= 1
+        return True
+
+    @property
+    def _marked(self) -> List[bool]:
+        """Materialized mark array (introspection/tests only; the seed
+        implementation stored this, the indexed one derives it)."""
+        total = 2 << (self.levels - 1)
+        out = [False] * total
+        for node in range(1, total):
+            out[node] = self.is_marked(node)
+        return out
 
     def check_invariants(self) -> None:
-        """Marked-parent invariant + live/marked consistency."""
-        for node in range(2, len(self._marked)):
-            if self._marked[node] and not self._marked[node // 2]:
-                raise AssertionError(
-                    f"node {node} marked but parent {node // 2} is not"
-                )
+        """Free-interval structure + live/byte-accounting consistency."""
+        free_total = 0
+        for level, mask in enumerate(self._free_mask):
+            if mask >> (1 << level):
+                raise AssertionError(f"level {level} free mask overflows")
+            m = mask
+            while m:
+                low = m & -m
+                idx = low.bit_length() - 1
+                m ^= low
+                free_total += self.capacity >> level
+                if level > 0 and (mask >> (idx ^ 1)) & 1 and idx & 1 == 0:
+                    raise AssertionError(
+                        f"uncoalesced buddies {idx},{idx ^ 1} at level {level}"
+                    )
+                # a free block's ancestors must not also be free
+                n = ((1 << level) + idx) >> 1
+                while n >= 1:
+                    lv = n.bit_length() - 1
+                    if (self._free_mask[lv] >> (n - (1 << lv))) & 1:
+                        raise AssertionError(
+                            f"free block at level {level} nested under a "
+                            f"free ancestor at level {lv}"
+                        )
+                    n >>= 1
+        if free_total != self.free_bytes:
+            raise AssertionError(
+                f"free intervals cover {free_total} bytes but accounting "
+                f"says {self.free_bytes}"
+            )
+        live_total = 0
         for offset, node in self._live.items():
-            if not self._marked[node]:
+            if not self.is_marked(node):
                 raise AssertionError(f"live node {node} not marked")
             if self.node_offset(node) != offset:
                 raise AssertionError("offset/node mismatch")
+            live_total += self.node_size(node)
+        if live_total != self.allocated_bytes:
+            raise AssertionError(
+                f"live nodes cover {live_total} bytes but accounting "
+                f"says {self.allocated_bytes}"
+            )
         # live regions must be pairwise disjoint
         regions = sorted(
             (offset, self.node_size(node)) for offset, node in self._live.items()

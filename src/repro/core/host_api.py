@@ -77,7 +77,9 @@ class PagodaHost:
         if self.protocol == "pipelined":
             self._prev_unpromoted = task_id
             yield self.table.post_cost(spec.param_bytes, transactions=1)
-            copy = self.table.copy_entry_to_gpu(col, row)
+            # the landing is one timed callback, not a spawned process
+            self.table.post_entry_to_gpu(col, row)
+            return task_id
         elif self.protocol == "two-copies":
             yield self.table.post_cost(spec.param_bytes, transactions=2)
             copy = self.table.copy_entry_two_transactions(col, row)

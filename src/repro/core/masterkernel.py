@@ -63,7 +63,7 @@ def mtb_arena_bytes(spec) -> int:
     return arena
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecState:
     """Per-task execution bookkeeping attached to a TaskTable entry
     (the paper's ctr[]/doneCtr[] shared-memory counters)."""
@@ -114,10 +114,13 @@ class Mtb:
         self.busy_warps = TimeWeighted()
         self.tasks_executed = 0
         self._procs = [engine.spawn(self._scheduler(), f"sched.mtb{column}")]
-        for slot in range(len(self.warptable)):
-            self._procs.append(
-                engine.spawn(self._executor(slot), f"exec.mtb{column}.{slot}")
-            )
+        #: executor warps are spawned lazily on the first dispatch of
+        #: their slot (bit i set <=> slot i's process exists).  Idle
+        #: warps in the real MasterKernel spin on their exec flag
+        #: without observable effect, so a process that has never been
+        #: handed work need not exist in the simulation — most
+        #: workloads touch a handful of the 31 slots per MTB.
+        self._exec_spawned = 0
 
     def shutdown(self) -> None:
         """Interrupt this component's daemon processes."""
@@ -127,18 +130,32 @@ class Mtb:
     # -- scheduler warp (Algorithm 1, lines 2-28) ---------------------------
 
     def _scheduler(self) -> Generator:
-        signal = self.table.column_signals[self.column]
-        col = self.table.gpu[self.column]
+        table = self.table
+        column = self.column
+        signal = table.column_signals[column]
+        col = table.gpu[column]
         while True:
             # Arm before scanning so changes made while we schedule are
             # not lost; the scan itself costs one warp-parallel poll.
             wakeup = signal.wait()
             yield self.timing.poll_iteration_ns
+            # Drain the dirty-row queue in ascending row order — the
+            # same visit order as the warp-parallel scan over the full
+            # column, skipping the rows whose protocol words did not
+            # change since the last wake.
             schedulable = []
-            for row in range(self.table.rows):
+            pass_mask = table.take_dirty_rows(column)
+            while pass_mask:
+                low = pass_mask & -pass_mask
+                pass_mask ^= low
+                row = low.bit_length() - 1
                 entry = col[row]
                 if entry.ready > READY_SCHEDULING:
                     self._handle_promotion(row, entry)
+                    # a promotion may have made a *later* row of this
+                    # column schedulable; the linear scan would still
+                    # reach it this pass
+                    pass_mask |= table.take_dirty_rows_above(column, row)
                 if entry.sched:
                     entry.sched = 0
                     schedulable.append(row)
@@ -155,6 +172,7 @@ class Mtb:
                 entry = col[row]
                 if self.deferred_scheduling and not self._can_start(entry):
                     entry.sched = 1  # requeue; retry on the next wake
+                    self.table.mark_row_dirty(self.column, row)
                     if self.trace is not None:
                         self.trace.sample("defer", self.engine.now,
                                           entry.task_id)
@@ -170,7 +188,7 @@ class Mtb:
             return True  # let _schedule_task raise the corruption error
         # a whole first threadblock must be placeable, or pSched would
         # block the scheduler warp mid-placement
-        if len(self.warptable.free_slots()) < task.warps_per_block:
+        if self.warptable.free_count < task.warps_per_block:
             return False
         if task.needs_sync and self.barriers.available == 0:
             return False
@@ -192,10 +210,13 @@ class Mtb:
             prev.sched = 1
             if self.trace is not None:
                 self.trace.sample("promote", self.engine.now, prev_id)
+            self.table.mark_row_dirty(pcol, prow)
             self.table.column_signals[pcol].pulse()
         elif prev.task_id == prev_id and prev.ready > READY_SCHEDULING:
             # predecessor's own pointer not yet resolved by its
-            # scheduler; retry when it reaches ready == -1.
+            # scheduler; keep this row queued and retry when the
+            # predecessor reaches ready == -1.
+            self.table.mark_row_dirty(self.column, row)
             self.table.register_promotion_waiter(pcol, prow, self.column)
             return
         # else: predecessor already promoted (host finalization) or
@@ -279,26 +300,41 @@ class Mtb:
                 bar_id: int, wpb: int) -> Generator:
         """Algorithm 2: the scheduler warp's threads claim free executor
         warps in parallel; loop until ``count`` warps are placed."""
+        wt = self.warptable
         placed = 0
         while placed < count:
             # arm before scanning so a retire during the pass is not a
             # lost wakeup
-            retry = self.warptable.free_signal.wait()
+            retry = wt.free_signal.wait()
             yield self.timing.psched_pass_ns
-            free = self.warptable.free_slots()
-            take = min(len(free), count - placed)
+            take = min(wt.free_count, count - placed)
             if self.serial_psched:
                 take = min(take, 1)  # ablation: one placement per pass
-            for slot in free[:take]:
+            dispatched = []
+            for _ in range(take):
+                # lowest-set-bit pick: the same slot the seed's
+                # ascending free-list scan chose, without building it
+                slot = wt.lowest_free()
                 warp_id = base_warp + placed
-                self.warptable.dispatch(
+                wt.dispatch(
                     slot, warp_id=warp_id, e_num=row, sm_index=sm_index,
                     bar_id=bar_id, block_id=warp_id // wpb,
                 )
                 self.busy_warps.add(self.engine.now, 1)
                 placed += 1
-            if take:
-                self.warptable.work_signal.pulse()
+                dispatched.append(slot)
+            # wake only the dispatched executors, after the whole pass
+            # (Algorithm 2 sets exec flags, then releases the warps)
+            for slot in dispatched:
+                bit = 1 << slot
+                if not self._exec_spawned & bit:
+                    self._exec_spawned |= bit
+                    self._procs.append(self.engine.spawn(
+                        self._executor(slot),
+                        f"exec.mtb{self.column}.{slot}",
+                    ))
+                else:
+                    wt.notify_work(slot)
             if placed < count:
                 yield retry
 
@@ -307,21 +343,26 @@ class Mtb:
     def _executor(self, slot_index: int) -> Generator:
         wt = self.warptable
         slot = wt.slots[slot_index]
+        col = self.table.gpu[self.column]
+        execute_phase = self.smm.execute_phase
+        dram = self.gpu.dram
+        busy_warps = self.busy_warps
+        engine = self.engine
         while True:
             if not slot.exec_flag:
-                yield wt.work_signal.wait()
+                yield wt.arm_work(slot_index)
                 continue
-            entry = self.table.gpu[self.column][slot.e_num]
+            entry = col[slot.e_num]
             task: TaskSpec = entry.spec
             state: ExecState = entry.exec_state
             if not state.started:
                 state.started = True
                 if entry.result is not None:
-                    entry.result.start_time = self.engine.now
+                    entry.result.start_time = engine.now
             local_warp = slot.warp_id - slot.block_id * task.warps_per_block
             for item in task.warp_phases(slot.block_id, local_warp):
                 if isinstance(item, Phase):
-                    yield from self.smm.execute_phase(item, self.gpu.dram)
+                    yield from execute_phase(item, dram)
                 elif isinstance(item, BlockSync):
                     if slot.bar_id < 0:
                         raise RuntimeError(
@@ -334,18 +375,19 @@ class Mtb:
                     yield self.barriers.barrier(slot.bar_id).arrive()
                 else:
                     raise TypeError(f"kernel yielded {item!r}")
-            yield from self._warp_epilogue(slot.e_num, slot.block_id,
-                                           entry, task, state)
-            self.busy_warps.add(self.engine.now, -1)
+            self._warp_epilogue(slot.e_num, slot.block_id,
+                                entry, task, state)
+            busy_warps.add(engine.now, -1)
             wt.retire(slot_index)
             if self.deferred_scheduling:
                 # freed resources may unblock a deferred row
                 self.table.column_signals[self.column].pulse()
 
     def _warp_epilogue(self, row: int, block_id: int, entry: TaskEntry,
-                       task: TaskSpec, state: ExecState) -> Generator:
+                       task: TaskSpec, state: ExecState) -> None:
         """Lines 34-42: last warp of the block releases block resources,
-        last warp of the task frees the TaskTable entry."""
+        last warp of the task frees the TaskTable entry.  Pure counter
+        updates — takes no simulated time."""
         state.block_warps_left[block_id] -= 1
         if state.block_warps_left[block_id] == 0:
             if self.functional and task.func is not None:
@@ -365,8 +407,6 @@ class Mtb:
                 self.trace.sample("task_done", self.engine.now,
                                   entry.task_id)
             self.table.gpu_complete(self.column, row)  # line 42
-        return
-        yield  # pragma: no cover - keeps this a generator subroutine
 
     def _run_block_functional(self, task: TaskSpec, block_id: int,
                               state: ExecState) -> None:

@@ -91,7 +91,7 @@ def run_multi_gpu_pagoda(tasks: List[TaskSpec],
     def collector(gpu_idx: int):
         session = node.sessions[gpu_idx]
         host, table = session.host, session.table
-        copied = set()
+        n_copied = 0
         transfers = []
         while True:
             done_spawning = not spawner_proc.alive
@@ -99,8 +99,9 @@ def run_multi_gpu_pagoda(tasks: List[TaskSpec],
                 yield from host.finalize_last()
             yield timing.wait_timeout_ns
             yield from table.copy_back()
-            for task_id in table.finished - copied:
-                copied.add(task_id)
+            # push-based completion reporting (no per-poll set diff)
+            for task_id in table.drain_completions():
+                n_copied += 1
                 node._outstanding[gpu_idx] -= 1
                 col, row = table.id_map[task_id]
                 spec_done = table.cpu[col][row].spec
@@ -112,7 +113,7 @@ def run_multi_gpu_pagoda(tasks: List[TaskSpec],
                                              Direction.D2H),
                         f"outcopy.{gpu_idx}.{task_id}",
                     ))
-            if done_spawning and host.spawn_count == len(copied):
+            if done_spawning and host.spawn_count == n_copied:
                 break
         for proc in transfers:
             yield proc

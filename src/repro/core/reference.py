@@ -1,0 +1,182 @@
+"""Seed-faithful reference implementations of the runtime layer.
+
+Frozen snapshots of the *original* (pre-indexing) runtime data
+structures, kept solely so differential tests can prove the indexed
+replacements are behaviorally identical:
+
+- :class:`ReferenceBuddyAllocator` — the §5.1 buddy allocator as a
+  fully materialized mark array: allocation scans the target level
+  left-to-right for an unmarked node and then marks **every** ancestor
+  and descendant with per-node loops; deallocation unmarks the subtree
+  and merges upward.  The production
+  :class:`~repro.core.buddy.BuddyAllocator` replaces the mark array
+  with per-level free-interval masks; the two must agree on every
+  observable (returned offsets, byte accounting, per-node mark state)
+  for every operation sequence.
+
+Do **not** use these classes outside tests: they are deliberately slow
+and receive no new features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class ReferenceBuddyAllocator:
+    """Array-backed buddy tree over a shared-memory arena (seed impl)."""
+
+    def __init__(self, capacity: int = 32 * 1024, granule: int = 512) -> None:
+        if capacity <= 0 or granule <= 0:
+            raise ValueError("capacity and granule must be positive")
+        if capacity % granule != 0:
+            raise ValueError("capacity must be a multiple of granule")
+        leaves = capacity // granule
+        if leaves & (leaves - 1):
+            raise ValueError("capacity/granule must be a power of two")
+        self.capacity = capacity
+        self.granule = granule
+        self.levels = leaves.bit_length()  # root level 0 .. leaves level-1
+        # 1-indexed heap array: node n has children 2n, 2n+1.
+        self._marked: List[bool] = [False] * (2 * leaves)
+        self._live: Dict[int, int] = {}  # offset -> node index
+        self._deferred: List[int] = []  # offsets marked for deallocation
+        self.allocated_bytes = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def _level_of_size(self, size: int) -> int:
+        """Shallowest level whose node size is >= size."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if size > self.capacity:
+            raise ValueError(f"request {size} exceeds arena {self.capacity}")
+        level = self.levels - 1
+        node_size = self.granule
+        while node_size < size:
+            node_size *= 2
+            level -= 1
+        return level
+
+    def node_size(self, node: int) -> int:
+        """Byte size of the buddy-tree node."""
+        level = node.bit_length() - 1
+        return self.capacity >> level
+
+    def node_offset(self, node: int) -> int:
+        """Arena offset covered by the buddy-tree node."""
+        level = node.bit_length() - 1
+        index_in_level = node - (1 << level)
+        return index_in_level * (self.capacity >> level)
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, size: int) -> Optional[int]:
+        """Allocate ``size`` bytes; returns the arena offset or ``None``."""
+        level = self._level_of_size(size)
+        first = 1 << level
+        last = (1 << (level + 1)) - 1
+        for node in range(first, last + 1):
+            if not self._marked[node]:
+                self._mark_alloc(node)
+                offset = self.node_offset(node)
+                self._live[offset] = node
+                self.allocated_bytes += self.node_size(node)
+                return offset
+        return None
+
+    def _mark_alloc(self, node: int) -> None:
+        # ancestors
+        n = node
+        while n >= 1:
+            self._marked[n] = True
+            n //= 2
+        # descendants (subtree)
+        self._mark_subtree(node, True)
+
+    def _mark_subtree(self, node: int, value: bool) -> None:
+        stack = [node]
+        size = len(self._marked)
+        while stack:
+            n = stack.pop()
+            self._marked[n] = value
+            child = 2 * n
+            if child < size:
+                stack.append(child)
+                stack.append(child + 1)
+
+    # -- deallocation ---------------------------------------------------------
+
+    def mark_for_dealloc(self, offset: int) -> None:
+        """Executor-warp side: defer freeing of the block at ``offset``."""
+        if offset not in self._live:
+            raise ValueError(f"offset {offset} is not allocated")
+        self._deferred.append(offset)
+
+    def flush_deferred(self) -> int:
+        """Scheduler-warp side: free everything marked; returns count."""
+        count = len(self._deferred)
+        deferred, self._deferred = self._deferred, []
+        for offset in deferred:
+            self.free(offset)
+        return count
+
+    def free(self, offset: int) -> None:
+        """Immediately free the allocation at ``offset`` (§5.1 Fig. 4)."""
+        node = self._live.pop(offset, None)
+        if node is None:
+            raise ValueError(f"offset {offset} is not allocated")
+        self.allocated_bytes -= self.node_size(node)
+        # unmark descendants and the node itself
+        self._mark_subtree(node, False)
+        # walk up: unmark parent while sibling is free
+        n = node
+        while n > 1:
+            sibling = n ^ 1
+            if self._marked[sibling]:
+                break
+            n //= 2
+            self._marked[n] = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free."""
+        return self.capacity - self.allocated_bytes
+
+    @property
+    def live_count(self) -> int:
+        """Outstanding allocations in the arena."""
+        return len(self._live)
+
+    @property
+    def deferred_count(self) -> int:
+        """Regions marked for deallocation, not yet flushed."""
+        return len(self._deferred)
+
+    def is_marked(self, node: int) -> bool:
+        """Whether a tree node is marked allocated."""
+        return self._marked[node]
+
+    def check_invariants(self) -> None:
+        """Marked-parent invariant + live/marked consistency."""
+        for node in range(2, len(self._marked)):
+            if self._marked[node] and not self._marked[node // 2]:
+                raise AssertionError(
+                    f"node {node} marked but parent {node // 2} is not"
+                )
+        for offset, node in self._live.items():
+            if not self._marked[node]:
+                raise AssertionError(f"live node {node} not marked")
+            if self.node_offset(node) != offset:
+                raise AssertionError("offset/node mismatch")
+        # live regions must be pairwise disjoint
+        regions = sorted(
+            (offset, self.node_size(node)) for offset, node in self._live.items()
+        )
+        prev_end = 0
+        for offset, size in regions:
+            if offset < prev_end:
+                raise AssertionError("overlapping live allocations")
+            prev_end = offset + size

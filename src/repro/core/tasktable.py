@@ -42,7 +42,7 @@ FIRST_TASK_ID = 2  # taskIDs are integers > 1 (§4.2.2)
 READBACK_BYTES_PER_ENTRY = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskEntry:
     """One TaskTable slot (either mirror)."""
 
@@ -85,6 +85,15 @@ class TaskTable:
         #: per-column change notification on the GPU side (scheduler
         #: warps block here instead of burning poll loops).
         self.column_signals: List[Signal] = [Signal() for _ in range(num_columns)]
+        #: per-column dirty-row bitmask: bit ``row`` set means the
+        #: entry's protocol words (``ready``/``sched``) changed since
+        #: the column's scheduler last visited it.  Every writer that
+        #: pulses a column signal also sets the row's bit, so a
+        #: scheduler wake drains exactly the changed rows instead of
+        #: rescanning all 32 (Algorithm 1's warp-parallel scan reads
+        #: the whole column in one warp-wide load; this mask is that
+        #: load's one-word software equivalent).
+        self._dirty_rows: List[int] = [0] * num_columns
         #: taskID -> (column, row); the indirection behind ready>1.
         self.id_map: Dict[int, Tuple[int, int]] = {}
         self._next_id = FIRST_TASK_ID
@@ -107,6 +116,10 @@ class TaskTable:
         # copy_back() (equivalent to scanning every entry for the
         # occupied -> free transition, without the O(entries) walk).
         self._completed_unreported: List[Tuple[int, int]] = []
+        # taskIDs observed finished by copy_back() and not yet handed
+        # to a consumer via drain_completions(); spares collectors the
+        # per-poll ``finished - copied`` set difference.
+        self._newly_finished: List[int] = []
         # columns whose scheduler deferred a promotion because the
         # target entry had not reached ready == -1 yet; keyed by the
         # target location.
@@ -146,6 +159,35 @@ class TaskTable:
         col, row = self.id_map[task_id]
         mirror = self.gpu if side == "gpu" else self.cpu
         return mirror[col][row]
+
+    # -- GPU-side dirty-row queue ----------------------------------------------
+
+    def mark_row_dirty(self, col: int, row: int) -> None:
+        """Flag a GPU-mirror row for the column's next scheduler visit."""
+        self._dirty_rows[col] |= 1 << row
+
+    def dirty_row_count(self, col: int) -> int:
+        """Rows currently flagged for the column's scheduler."""
+        return self._dirty_rows[col].bit_count()
+
+    def take_dirty_rows(self, col: int) -> int:
+        """Claim-and-clear the column's dirty mask (one scheduler wake)."""
+        mask = self._dirty_rows[col]
+        if mask:
+            self._dirty_rows[col] = 0
+        return mask
+
+    def take_dirty_rows_above(self, col: int, row: int) -> int:
+        """Claim-and-clear only the dirty bits strictly above ``row``.
+
+        Used mid-drain: a promotion resolved during the scan may mark a
+        *later* row of the same column schedulable, and the paper's
+        single linear pass would still reach that row this iteration.
+        """
+        mask = self._dirty_rows[col] & -(2 << row)
+        if mask:
+            self._dirty_rows[col] ^= mask
+        return mask
 
     # -- CPU-side spawn path ---------------------------------------------------
 
@@ -188,9 +230,22 @@ class TaskTable:
         serialize only at the posting rate plus payload wire time, and
         become visible after the mapped-write latency.
         """
+        yield self.timing.mapped_write_ns
+        self._land_entry(col, row)
+
+    def post_entry_to_gpu(self, col: int, row: int) -> None:
+        """Timed-callback twin of :meth:`copy_entry_to_gpu`: the posted
+        write lands after the mapped-write latency as a single engine
+        callback instead of a full process lifecycle (the spawn path
+        issues one of these per task, so the per-process overhead was
+        pure simulator tax)."""
+        self.engine.call_after(self.timing.mapped_write_ns,
+                               lambda: self._land_entry(col, row))
+
+    def _land_entry(self, col: int, row: int) -> None:
+        """The posted write becomes visible in the GPU mirror."""
         src = self.cpu[col][row]
         nbytes = (src.spec.param_bytes if src.spec else 0) + READBACK_BYTES_PER_ENTRY
-        yield self.timing.mapped_write_ns
         self.posted_bytes += nbytes
         dst = self.gpu[col][row]
         dst.spec = src.spec
@@ -200,6 +255,7 @@ class TaskTable:
         dst.ready = src.ready
         src.inflight = False
         self.entry_copies += 1
+        self.mark_row_dirty(col, row)
         self.column_signals[col].pulse()
 
     def copy_entry_two_transactions(self, col: int, row: int) -> Generator:
@@ -226,6 +282,7 @@ class TaskTable:
         dst.sched = 1
         src.inflight = False
         self.entry_copies += 1
+        self.mark_row_dirty(col, row)
         self.column_signals[col].pulse()
 
     def copy_entry_unsafe_single(self, col: int, row: int,
@@ -251,6 +308,7 @@ class TaskTable:
         def land_flag() -> None:
             dst.ready = READY_SCHEDULING
             dst.sched = 1
+            self.mark_row_dirty(col, row)
             self.column_signals[col].pulse()
 
         half = self.timing.mapped_write_ns / 2
@@ -273,6 +331,7 @@ class TaskTable:
         dst = self.gpu[col][row]
         dst.ready = src.ready
         dst.sched = src.sched
+        self.mark_row_dirty(col, row)
         self.column_signals[col].pulse()
 
     # -- CPU-side lazy aggregate copy-back (§4.2.2) -----------------------------
@@ -299,7 +358,22 @@ class TaskTable:
             cpu.ready = gpu.ready
             cpu.sched = gpu.sched
             self.finished.add(cpu.task_id)
+            self._newly_finished.append(cpu.task_id)
             self._cpu_free.append((col, row))
+
+    def drain_completions(self) -> List[int]:
+        """TaskIDs newly observed finished since the last drain.
+
+        Completions accumulate as copy-backs observe them (in
+        completion-observation order); draining hands them over exactly
+        once.  Collector threads iterate this instead of recomputing
+        the ``finished - copied`` set difference on every poll.
+        """
+        if not self._newly_finished:
+            return []
+        out = self._newly_finished
+        self._newly_finished = []
+        return out
 
     # -- GPU-side promotion coordination ---------------------------------------
 

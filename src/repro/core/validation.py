@@ -16,8 +16,14 @@ class InvariantViolation(AssertionError):
     """A Pagoda conservation law was broken."""
 
 
-def check_mtb(mtb) -> None:
-    """Per-MTB invariants: WarpTable/buddy/barrier consistency."""
+def check_mtb(mtb, deep: bool = False) -> None:
+    """Per-MTB invariants: WarpTable/buddy/barrier consistency.
+
+    The default check reads only the maintained counters (free-mask
+    popcounts, occupancy tracker, barrier pool arithmetic) so it can
+    run inside timed benchmarks without distorting them; ``deep=True``
+    additionally walks every WarpTable slot and the full buddy tree.
+    """
     busy = mtb.warptable.busy_count
     if not 0 <= busy <= len(mtb.warptable):
         raise InvariantViolation(
@@ -28,32 +34,33 @@ def check_mtb(mtb) -> None:
             f"MTB {mtb.column}: occupancy tracker says "
             f"{mtb.busy_warps.current} busy warps, WarpTable says {busy}"
         )
-    # every executing slot must reference a live TaskTable entry
-    for i, slot in enumerate(mtb.warptable.slots):
-        if slot.exec_flag:
-            entry = mtb.table.gpu[mtb.column][slot.e_num]
-            if entry.spec is None:
-                raise InvariantViolation(
-                    f"MTB {mtb.column} slot {i}: executing a task with "
-                    "no parameters"
-                )
-            if entry.ready == READY_FREE:
-                raise InvariantViolation(
-                    f"MTB {mtb.column} slot {i}: executing warp of an "
-                    "entry already marked free"
-                )
-            if slot.block_id >= entry.spec.num_blocks:
-                raise InvariantViolation(
-                    f"MTB {mtb.column} slot {i}: block_id "
-                    f"{slot.block_id} out of range"
-                )
-    # the buddy tree's structural invariants
-    try:
-        mtb.buddy.check_invariants()
-    except AssertionError as exc:
-        raise InvariantViolation(
-            f"MTB {mtb.column}: buddy allocator corrupt: {exc}"
-        ) from exc
+    if deep:
+        # every executing slot must reference a live TaskTable entry
+        for i, slot in enumerate(mtb.warptable.slots):
+            if slot.exec_flag:
+                entry = mtb.table.gpu[mtb.column][slot.e_num]
+                if entry.spec is None:
+                    raise InvariantViolation(
+                        f"MTB {mtb.column} slot {i}: executing a task with "
+                        "no parameters"
+                    )
+                if entry.ready == READY_FREE:
+                    raise InvariantViolation(
+                        f"MTB {mtb.column} slot {i}: executing warp of an "
+                        "entry already marked free"
+                    )
+                if slot.block_id >= entry.spec.num_blocks:
+                    raise InvariantViolation(
+                        f"MTB {mtb.column} slot {i}: block_id "
+                        f"{slot.block_id} out of range"
+                    )
+        # the buddy tree's structural invariants (full-tree walk)
+        try:
+            mtb.buddy.check_invariants()
+        except AssertionError as exc:
+            raise InvariantViolation(
+                f"MTB {mtb.column}: buddy allocator corrupt: {exc}"
+            ) from exc
     # barrier pool: in-use + available == capacity
     pool = mtb.barriers
     if pool.in_use + pool.available != pool.count:
@@ -63,13 +70,14 @@ def check_mtb(mtb) -> None:
         )
 
 
-def check_table(table) -> None:
+def check_table(table, deep: bool = False) -> None:
     """TaskTable invariants: id_map consistency, no double-free."""
-    for task_id, (col, row) in table.id_map.items():
-        if not (0 <= col < table.num_columns and 0 <= row < table.rows):
-            raise InvariantViolation(
-                f"task {task_id}: id_map points outside the table"
-            )
+    if deep:
+        for task_id, (col, row) in table.id_map.items():
+            if not (0 <= col < table.num_columns and 0 <= row < table.rows):
+                raise InvariantViolation(
+                    f"task {task_id}: id_map points outside the table"
+                )
     # host-observed completions must be GPU-completed
     if len(table.finished) > table.gpu_done_signal.pulse_count:
         raise InvariantViolation(
@@ -77,11 +85,11 @@ def check_table(table) -> None:
         )
 
 
-def check_session(session: PagodaSession) -> None:
+def check_session(session: PagodaSession, deep: bool = False) -> None:
     """All invariants of a live (or finished) Pagoda stack."""
     for mtb in session.master.mtbs:
-        check_mtb(mtb)
-    check_table(session.table)
+        check_mtb(mtb, deep=deep)
+    check_table(session.table, deep=deep)
     # warp conservation across the whole device: busy executor warps
     # never exceed capacity
     total_busy = sum(m.warptable.busy_count for m in session.master.mtbs)
@@ -92,9 +100,9 @@ def check_session(session: PagodaSession) -> None:
         )
 
 
-def check_quiescent(session: PagodaSession) -> None:
+def check_quiescent(session: PagodaSession, deep: bool = False) -> None:
     """After a drained run: everything returned to the free state."""
-    check_session(session)
+    check_session(session, deep=deep)
     for mtb in session.master.mtbs:
         if mtb.warptable.busy_count != 0:
             raise InvariantViolation(

@@ -3,16 +3,30 @@
 Each MTB keeps one slot per executor warp (31 slots) in shared memory.
 The scheduler warp writes a slot to hand a task warp to an executor;
 the executor resets ``exec`` when done.  Fields follow Table 2 exactly.
+
+Free-slot bookkeeping is a single integer bitmask — the software twin
+of Algorithm 2's hardware ``__ballot`` of exec flags, where the
+scheduler warp's 32 threads each read one slot and vote in one
+register.  Bit ``i`` set means slot ``i`` is free, so:
+
+- ``free_count`` / ``busy_count`` are one popcount (the seed rescanned
+  every slot);
+- the executor-slot pick in ``pSched`` is one lowest-set-bit
+  extraction per placement instead of materializing the free list;
+- wakeups are targeted: the scheduler fires the dispatched slot's own
+  armed event, instead of broadcasting to all 31 executors and letting
+  the 30 losers re-arm (the seed's dominant wasted work).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.sim import Signal
+from repro.sim import Event, Signal
 
 
-@dataclass
+@dataclass(slots=True)
 class WarpSlot:
     """One executor warp's bookkeeping entry (Table 2)."""
 
@@ -29,10 +43,13 @@ class WarpSlot:
     block_id: int = 0
     #: set by the scheduler to start execution; reset by the executor.
     exec_flag: bool = False
+    #: armed by the idle executor warp; fired by the scheduler on
+    #: dispatch (the targeted replacement for a broadcast work signal).
+    work_event: Optional[Event] = field(default=None, repr=False)
 
 
 class WarpTable:
-    """31 slots + wakeup signalling between scheduler and executors."""
+    """31 slots + free-mask index + targeted wakeup signalling."""
 
     EXECUTOR_WARPS = 31
 
@@ -40,9 +57,8 @@ class WarpTable:
         if slots < 1:
             raise ValueError("slots must be >= 1")
         self.slots = [WarpSlot() for _ in range(slots)]
-        #: pulsed by the scheduler after setting exec flags; executor
-        #: warps block on it instead of spin-reading their slot.
-        self.work_signal = Signal()
+        #: bit i set <=> slot i free (the ballot word).
+        self._free_mask = (1 << slots) - 1
         #: pulsed by executors when they free their slot; the scheduler
         #: blocks on it when pSched finds no free warps.
         self.free_signal = Signal()
@@ -50,14 +66,55 @@ class WarpTable:
     def __len__(self) -> int:
         return len(self.slots)
 
-    def free_slots(self):
-        """Indices of executor warps with a clear exec flag."""
-        return [i for i, s in enumerate(self.slots) if not s.exec_flag]
+    # -- free-slot index ----------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Executor warps with a clear exec flag (one popcount)."""
+        return self._free_mask.bit_count()
 
     @property
     def busy_count(self) -> int:
         """Executor warps currently running task work."""
-        return sum(1 for s in self.slots if s.exec_flag)
+        return len(self.slots) - self._free_mask.bit_count()
+
+    def lowest_free(self) -> int:
+        """Lowest-index free slot, or -1 when all are executing."""
+        mask = self._free_mask
+        if not mask:
+            return -1
+        return (mask & -mask).bit_length() - 1
+
+    def free_slots(self):
+        """Indices of executor warps with a clear exec flag (a
+        materialized view of the free mask, ascending)."""
+        out = []
+        mask = self._free_mask
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    # -- executor-side wakeup ------------------------------------------------
+
+    def arm_work(self, slot_index: int) -> Event:
+        """Idle executor warp: arm a one-shot event the scheduler fires
+        when it dispatches this slot."""
+        ev = Event()
+        self.slots[slot_index].work_event = ev
+        return ev
+
+    def notify_work(self, slot_index: int) -> None:
+        """Scheduler side: wake the dispatched slot's executor (no-op
+        when the executor saw the exec flag without sleeping)."""
+        slot = self.slots[slot_index]
+        ev = slot.work_event
+        if ev is not None:
+            slot.work_event = None
+            ev.fire(slot_index)
+
+    # -- dispatch / retire ----------------------------------------------------
 
     def dispatch(self, slot_index: int, warp_id: int, e_num: int,
                  sm_index: int, bar_id: int, block_id: int) -> None:
@@ -73,6 +130,7 @@ class WarpTable:
         slot.bar_id = bar_id
         slot.block_id = block_id
         slot.exec_flag = True
+        self._free_mask &= ~(1 << slot_index)
 
     def retire(self, slot_index: int) -> None:
         """Executor-side: mark the warp free (Algorithm 1 line 43)."""
@@ -81,4 +139,5 @@ class WarpTable:
             raise RuntimeError(f"slot {slot_index} is not executing")
         slot.exec_flag = False
         slot.e_num = -1
+        self._free_mask |= 1 << slot_index
         self.free_signal.pulse(slot_index)

@@ -92,18 +92,27 @@ class Smm:
         to this warp — other warps keep issuing, so occupancy hides it)
         and then contends on the GPU-wide DRAM bandwidth pool.
         """
-        if self.timing.phase_overhead_ns:
-            yield self.timing.phase_overhead_ns
+        overhead = self.timing.phase_overhead_ns
+        stall = 0.0
         if phase.inst:
-            yield self.issue.consume(phase.inst)
+            # the fixed issue overhead immediately precedes the issue
+            # demand, so the warp parks on one event for both
+            yield self.issue.consume_after(overhead, phase.inst)
             if self.timing.warp_stall_ratio:
                 # dependency stalls: private to this warp, hidden only
                 # when enough *other* warps are resident (occupancy)
-                yield phase.inst * self.timing.warp_stall_ratio / self.spec.clock_ghz
+                stall = (phase.inst * self.timing.warp_stall_ratio
+                         / self.spec.clock_ghz)
+        elif overhead:
+            yield overhead
         if phase.mem_bytes:
-            if self.timing.mem_latency_ns:
-                yield self.timing.mem_latency_ns
-            yield dram.consume(phase.mem_bytes)
+            # the stall and the DRAM access latency are both private
+            # sleeps with nothing observable in between — fuse them
+            # with the bandwidth demand into one parked wait
+            yield dram.consume_after(stall + self.timing.mem_latency_ns,
+                                     phase.mem_bytes)
+        elif stall:
+            yield stall
 
     def mean_occupancy(self, end: float | None = None) -> float:
         """Time-averaged resident warps / warp slots."""

@@ -132,9 +132,29 @@ class Process:
         A process doubles as its own wake callback: the engine enrolls
         the process object directly as an event/join waiter instead of
         allocating a closure per wait — event waits are the dominant
-        command on the Pagoda control path.
+        command on the Pagoda control path.  The engine's resume body
+        is inlined here (rather than bouncing through ``_step``)
+        because every event fire lands in this frame.
         """
-        self.engine._step(self, value)
+        if not self.alive:
+            return  # interrupted; interrupt() already settled _nlive
+        engine = self.engine
+        try:
+            command = self.gen.send(value)
+        except StopIteration as stop:
+            engine._nlive -= 1
+            self._finish(stop.value)
+            return
+        if type(command) is float:
+            if command < 0.0:
+                raise ValueError(f"cannot schedule in the past: {command!r}")
+            engine._seq += 1
+            heapq.heappush(
+                engine._queue,
+                (engine.now + command, engine._seq, _RESUME, self, None),
+            )
+        else:
+            engine._dispatch_slow(self, command)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "done"
@@ -181,27 +201,9 @@ class Engine:
         return proc
 
     def _step(self, proc: Process, value: Any) -> None:
-        """Resume ``proc`` with ``value`` (the waiter-callback entry
-        point; the run loops inline an equivalent fast path)."""
-        if not proc.alive:
-            return  # interrupted; interrupt() already settled _nlive
-        try:
-            command = proc.gen.send(value)
-        except StopIteration as stop:
-            self._nlive -= 1
-            proc._finish(stop.value)
-            return
-        # Branch-first dispatch: the common numeric-delay case pays one
-        # pointer compare and one heap push — no closures.
-        if type(command) is float:
-            if command < 0.0:
-                raise ValueError(f"cannot schedule in the past: {command!r}")
-            self._seq += 1
-            heapq.heappush(
-                self._queue, (self.now + command, self._seq, _RESUME, proc, None)
-            )
-        else:
-            self._dispatch_slow(proc, command)
+        """Resume ``proc`` with ``value`` (the guarded run loops' entry
+        point; the resume body lives in :meth:`Process.__call__`)."""
+        proc(value)
 
     def _dispatch_slow(self, proc: Process, command: Any) -> None:
         """Dispatch every non-``float`` yield command."""

@@ -243,6 +243,19 @@ class ReferenceProcessorSharing:
         self._reschedule()
         return ev
 
+    def consume_after(self, delay: float, amount: float) -> Event:
+        """Join the pool after a private ``delay``, then consume
+        (timing-equivalent to sleeping ``delay`` before ``consume``)."""
+        if delay <= 0:
+            return self.consume(amount)
+        ev = Event()
+
+        def join() -> None:
+            self.consume(amount)._add_waiter(ev.fire)
+
+        self.engine.call_after(delay, join)
+        return ev
+
     @property
     def active_jobs(self) -> int:
         return len(self._jobs)

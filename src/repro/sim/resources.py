@@ -23,7 +23,7 @@ import heapq
 from collections import deque
 from typing import Any, Deque, Generator, List, Optional, Tuple
 
-from repro.sim.engine import Engine
+from repro.sim.engine import _FN, Engine
 from repro.sim.events import Event
 
 _EPS = 1e-9
@@ -139,6 +139,9 @@ class ProcessorSharing:
         #: min-heap of (finish_v, seq, Event); seq breaks ties in
         #: arrival order
         self._heap: List[Tuple[float, int, Event]] = []
+        #: same-instant deferred arrivals being coalesced, keyed by
+        #: absolute arrival time (see :meth:`consume_after`)
+        self._arrivals: dict = {}
         self._v = 0.0  # virtual time: cumulative per-job service
         self._next_id = 0
         self._last_update = 0.0
@@ -174,15 +177,35 @@ class ProcessorSharing:
 
     def _reschedule(self) -> None:
         self._timer_version += 1
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             self._v = 0.0  # idle pool: cheap exact rebase
             return
         if self._v > _REBASE_V:
             self._rebase()
+            heap = self._heap
         version = self._timer_version
-        shortest = self._heap[0][0] - self._v
-        eta = max(max(shortest, 0.0) / self._job_rate(), _MIN_ETA)
-        self.engine.call_after(eta, lambda: self._on_timer(version))
+        shortest = heap[0][0] - self._v
+        if shortest < 0.0:
+            shortest = 0.0
+        n = len(heap)
+        job_rate = self.per_job_cap
+        pooled = self.rate / n
+        if pooled < job_rate:
+            job_rate = pooled
+        eta = shortest / job_rate
+        if eta < _MIN_ETA:
+            eta = _MIN_ETA
+        # inlined engine.call_after: one heap push, no closure-free
+        # wrapper frames (this is the single hottest timer in the
+        # simulator — every PS arrival and departure lands here)
+        engine = self.engine
+        engine._seq += 1
+        heapq.heappush(
+            engine._queue,
+            (engine.now + eta, engine._seq, _FN,
+             lambda: self._on_timer(version), None),
+        )
 
     def _on_timer(self, version: int) -> None:
         if version != self._timer_version:
@@ -194,6 +217,9 @@ class ProcessorSharing:
         while heap and heap[0][0] <= threshold:
             finished.append(heapq.heappop(heap))
         self._reschedule()
+        if len(finished) == 1:
+            finished[0][2].fire(None)
+            return
         # fire in arrival order (the seed iterated its job dict in
         # insertion order), not in finish-tag order
         finished.sort(key=lambda item: item[1])
@@ -210,10 +236,65 @@ class ProcessorSharing:
         if amount == 0:
             ev.fire(None)
             return ev
-        self._advance()
+        if self._heap:
+            self._advance()
+        else:
+            # empty pool: V is already 0 (idle rebase) and no service
+            # accrued since _last_update — skip the fp bookkeeping
+            self._last_update = self.engine.now
         self._next_id += 1
         heapq.heappush(self._heap, (self._v + float(amount), self._next_id, ev))
         self._reschedule()
+        return ev
+
+    def consume_after(self, delay: float, amount: float) -> Event:
+        """Join the pool after a private ``delay``, then consume.
+
+        Timing-equivalent to ``yield delay`` followed by ``yield
+        consume(amount)``, but the waiting process parks on one event
+        for the whole span — the intermediate wake existed only to
+        issue the second yield.  Used for fixed issue/access latencies
+        that immediately precede a contended service demand.
+
+        Arrivals landing at the *same future instant* are coalesced
+        into one engine callback and one timer reschedule: sibling
+        warps of a threadblock are dispatched together and issue
+        identical latency-then-demand patterns, so batching their pool
+        entries removes most of the PS timer churn without changing a
+        single finish tag (same arrival instant, same arrival order).
+        """
+        if delay <= 0:
+            return self.consume(amount)
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event()
+        engine = self.engine
+        when = engine.now + delay
+        batch = self._arrivals.get(when)
+        if batch is not None:
+            batch.append((float(amount), ev))
+            return ev
+        batch = [(float(amount), ev)]
+        self._arrivals[when] = batch
+
+        def join() -> None:
+            del self._arrivals[when]
+            if self._heap:
+                self._advance()
+            else:
+                self._last_update = self.engine.now
+            heap = self._heap
+            v = self._v
+            for amt, e in batch:
+                if amt == 0.0:
+                    e.fire(None)
+                    continue
+                self._next_id += 1
+                heapq.heappush(heap, (v + amt, self._next_id, e))
+            self._reschedule()
+
+        engine._seq += 1
+        heapq.heappush(engine._queue, (when, engine._seq, _FN, join, None))
         return ev
 
     @property

@@ -71,7 +71,14 @@ class TimeWeighted:
 
     def add(self, time: float, delta: float) -> None:
         """Add a delta to the current value at a time point."""
-        self.set(time, self._value + delta)
+        if time < self._last:
+            raise ValueError("time went backwards")
+        value = self._value + delta
+        self._integral += self._value * (time - self._last)
+        self._value = value
+        self._last = time
+        if value > self.peak:
+            self.peak = value
 
     @property
     def current(self) -> float:

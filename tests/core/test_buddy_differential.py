@@ -1,0 +1,213 @@
+"""Differential test: interval-mask BuddyAllocator vs the frozen seed.
+
+The production :class:`repro.core.buddy.BuddyAllocator` replaces the
+seed's fully materialized per-node mark array with per-level
+free-interval masks.  :class:`repro.core.reference.ReferenceBuddyAllocator`
+is the seed implementation, frozen.  These tests drive both through the
+same operation sequences and require them to agree on **every
+observable after every step**: returned offsets (including ``None``),
+raised exceptions, byte accounting, live/deferred counts, and the mark
+state of every node in the tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.buddy import BuddyAllocator
+from repro.core.reference import ReferenceBuddyAllocator
+
+CAPACITY = 32 * 1024
+GRANULE = 512
+
+
+def make_pair(capacity=CAPACITY, granule=GRANULE):
+    return (BuddyAllocator(capacity, granule),
+            ReferenceBuddyAllocator(capacity, granule))
+
+
+def assert_same_state(new, ref, context=""):
+    """Every observable the two allocators expose must agree."""
+    assert new.allocated_bytes == ref.allocated_bytes, context
+    assert new.free_bytes == ref.free_bytes, context
+    assert new.live_count == ref.live_count, context
+    assert new.deferred_count == ref.deferred_count, context
+    total_nodes = 2 * (new.capacity // new.granule)
+    for node in range(1, total_nodes):
+        assert new.is_marked(node) == ref.is_marked(node), (
+            f"{context}: node {node} mark state diverged "
+            f"(new={new.is_marked(node)}, ref={ref.is_marked(node)})"
+        )
+    new.check_invariants()
+    ref.check_invariants()
+
+
+def step(new, ref, op, *args):
+    """Apply one operation to both allocators; outcomes must match."""
+    outcomes = []
+    for alloc in (new, ref):
+        try:
+            outcomes.append(("ok", getattr(alloc, op)(*args)))
+        except ValueError as exc:
+            outcomes.append(("raise", str(exc)))
+    assert outcomes[0] == outcomes[1], (
+        f"{op}{args}: new -> {outcomes[0]}, ref -> {outcomes[1]}"
+    )
+    return outcomes[0]
+
+
+def test_single_alloc_free_cycle():
+    new, ref = make_pair()
+    for size in (1, GRANULE, GRANULE + 1, 1536, 4096, CAPACITY):
+        kind, offset = step(new, ref, "alloc", size)
+        assert kind == "ok" and offset is not None
+        assert_same_state(new, ref, f"after alloc({size})")
+        step(new, ref, "free", offset)
+        assert_same_state(new, ref, f"after free({size} @ {offset})")
+
+
+def test_fill_to_exhaustion_then_drain():
+    new, ref = make_pair()
+    offsets = []
+    while True:
+        kind, offset = step(new, ref, "alloc", GRANULE)
+        if offset is None:
+            break
+        offsets.append(offset)
+    assert len(offsets) == CAPACITY // GRANULE
+    assert_same_state(new, ref, "arena full")
+    # free in an order that forces every merge pattern: evens first
+    # (no merges), then odds (each completes a buddy pair)
+    for offset in offsets[::2] + offsets[1::2]:
+        step(new, ref, "free", offset)
+    assert_same_state(new, ref, "arena drained")
+    assert new.allocated_bytes == 0
+
+
+def test_error_paths_agree():
+    new, ref = make_pair()
+    for op, args in [
+        ("alloc", (0,)),
+        ("alloc", (-512,)),
+        ("alloc", (CAPACITY + 1,)),
+        ("free", (0,)),          # nothing allocated at 0
+        ("free", (999,)),        # never a valid offset
+        ("mark_for_dealloc", (512,)),
+    ]:
+        kind, _ = step(new, ref, op, *args)
+        assert kind == "raise", f"{op}{args} should raise in both"
+        assert_same_state(new, ref, f"after failed {op}{args}")
+
+
+def test_deferred_dealloc_protocol():
+    """mark_for_dealloc defers; flush_deferred frees in mark order."""
+    new, ref = make_pair()
+    offsets = [step(new, ref, "alloc", 2048)[1] for _ in range(6)]
+    for offset in offsets[:4]:
+        step(new, ref, "mark_for_dealloc", offset)
+        assert_same_state(new, ref, "after mark_for_dealloc")
+    kind, count = step(new, ref, "flush_deferred")
+    assert (kind, count) == ("ok", 4)
+    assert_same_state(new, ref, "after flush")
+    for offset in offsets[4:]:
+        step(new, ref, "free", offset)
+    assert_same_state(new, ref, "after final frees")
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_operation_sequences(seed):
+    """Long randomized mixed workloads, state compared after every op.
+
+    Sizes deliberately include non-power-of-two requests (rounded up
+    to a node size), granule-sized leaves, and whole-arena blocks.
+    """
+    rng = np.random.default_rng(seed)
+    new, ref = make_pair()
+    live = []
+    sizes = [1, 300, GRANULE, 768, 1024, 1536, 2048, 5000, 8192,
+             12288, 16384, CAPACITY]
+    for step_no in range(400):
+        roll = rng.random()
+        if roll < 0.5 or not live:
+            size = int(rng.choice(sizes))
+            kind, offset = step(new, ref, "alloc", size)
+            assert kind == "ok"
+            if offset is not None:
+                live.append(offset)
+        elif roll < 0.7:
+            offset = live.pop(int(rng.integers(len(live))))
+            step(new, ref, "free", offset)
+        elif roll < 0.9:
+            offset = live.pop(int(rng.integers(len(live))))
+            step(new, ref, "mark_for_dealloc", offset)
+        else:
+            step(new, ref, "flush_deferred")
+        assert_same_state(new, ref, f"seed {seed} step {step_no}")
+    # drain: flush deferred marks, then free the rest
+    step(new, ref, "flush_deferred")
+    for offset in live:
+        step(new, ref, "free", offset)
+    assert_same_state(new, ref, f"seed {seed} drained")
+    assert new.allocated_bytes == 0
+
+
+def test_exhaustive_small_arena_sequences():
+    """Exhaustive differential sweep on a small arena: every sequence
+    of 4 operations drawn from {alloc(small), alloc(big), free(oldest),
+    free(newest), mark_for_dealloc(oldest), flush_deferred} — the full
+    cross product, so every interleaving of split/merge/defer on a
+    3-level tree is covered, not just sampled."""
+    OPS = ["alloc_small", "alloc_big", "free_old", "free_new",
+           "mark_old", "flush"]
+
+    def apply(name, new, ref, live):
+        if name == "alloc_small":
+            kind, offset = step(new, ref, "alloc", 512)
+            if offset is not None:
+                live.append(offset)
+        elif name == "alloc_big":
+            kind, offset = step(new, ref, "alloc", 1024)
+            if offset is not None:
+                live.append(offset)
+        elif name == "free_old" and live:
+            step(new, ref, "free", live.pop(0))
+        elif name == "free_new" and live:
+            step(new, ref, "free", live.pop())
+        elif name == "mark_old" and live:
+            step(new, ref, "mark_for_dealloc", live.pop(0))
+        elif name == "flush":
+            step(new, ref, "flush_deferred")
+
+    sequences = 0
+    for a in OPS:
+        for b in OPS:
+            for c in OPS:
+                for d in OPS:
+                    new, ref = make_pair(capacity=2048, granule=512)
+                    live = []
+                    for name in (a, b, c, d):
+                        apply(name, new, ref, live)
+                        assert_same_state(
+                            new, ref, f"sequence {(a, b, c, d)}"
+                        )
+                    sequences += 1
+    assert sequences == len(OPS) ** 4
+
+
+def test_first_fit_placement_is_leftmost():
+    """Both implementations must pick the leftmost suitable node, or
+    offsets (and thus downstream schedules) would diverge."""
+    new, ref = make_pair()
+    a = step(new, ref, "alloc", 8192)[1]
+    b = step(new, ref, "alloc", 8192)[1]
+    c = step(new, ref, "alloc", 8192)[1]
+    assert (a, b, c) == (0, 8192, 16384)
+    step(new, ref, "free", b)
+    assert_same_state(new, ref, "hole at 8192")
+    # a smaller request must land inside the hole, not after c
+    d = step(new, ref, "alloc", 4096)[1]
+    assert d == 8192
+    assert_same_state(new, ref, "refilled hole")
+    for offset in (a, c, d, step(new, ref, "alloc", 4096)[1]):
+        step(new, ref, "free", offset)
+    assert new.allocated_bytes == 0
+    assert_same_state(new, ref, "drained")

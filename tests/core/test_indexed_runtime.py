@@ -1,0 +1,178 @@
+"""Property tests for the indexed runtime data structures.
+
+The PR replaced O(n) rescans with maintained indexes: the WarpTable's
+free-slot ballot word and the TaskTable's per-column dirty-row masks.
+These tests drive both through long randomized operation sequences
+(seeded RNG, so failures replay) and after **every** step compare the
+index against a brute-force rescan of the underlying state — the
+invariant the indexes must never drift from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tasktable import TaskTable
+from repro.core.warptable import WarpTable
+from repro.gpu.timing import TimingModel
+from repro.pcie.bus import PcieBus
+from repro.sim import Engine
+
+# -- WarpTable free-mask vs brute-force slot scan ---------------------------
+
+
+def brute_force_free_slots(wt):
+    """What the seed implementation computed: scan every slot."""
+    return [i for i, slot in enumerate(wt.slots) if not slot.exec_flag]
+
+
+def assert_warptable_index_consistent(wt):
+    free = brute_force_free_slots(wt)
+    assert wt.free_slots() == free
+    assert wt.free_count == len(free)
+    assert wt.busy_count == len(wt) - len(free)
+    assert wt.lowest_free() == (free[0] if free else -1)
+    # the ballot word itself, bit by bit
+    for i, slot in enumerate(wt.slots):
+        assert bool(wt._free_mask >> i & 1) == (not slot.exec_flag)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_warptable_free_mask_matches_rescan(seed):
+    rng = np.random.default_rng(seed)
+    wt = WarpTable()
+    busy = []
+    for _ in range(600):
+        if busy and (rng.random() < 0.45 or wt.free_count == 0):
+            wt.retire(busy.pop(int(rng.integers(len(busy)))))
+        else:
+            free = wt.free_slots()
+            slot = int(free[rng.integers(len(free))])
+            wt.dispatch(slot, warp_id=int(rng.integers(32)),
+                        e_num=int(rng.integers(32)),
+                        sm_index=int(rng.integers(0, 32768)),
+                        bar_id=-1, block_id=int(rng.integers(4)))
+            busy.append(slot)
+        assert_warptable_index_consistent(wt)
+    for slot in busy:
+        wt.retire(slot)
+    assert_warptable_index_consistent(wt)
+    assert wt.free_count == len(wt)
+
+
+def test_warptable_full_and_empty_extremes():
+    wt = WarpTable(slots=4)
+    assert_warptable_index_consistent(wt)
+    for i in range(4):
+        wt.dispatch(i, warp_id=0, e_num=0, sm_index=0, bar_id=-1,
+                    block_id=0)
+        assert_warptable_index_consistent(wt)
+    assert wt.lowest_free() == -1 and wt.free_count == 0
+    for i in reversed(range(4)):
+        wt.retire(i)
+        assert_warptable_index_consistent(wt)
+
+
+def test_warptable_rejects_double_dispatch_and_retire():
+    """Guard rails that keep the mask in sync with the flags."""
+    wt = WarpTable(slots=2)
+    wt.dispatch(0, warp_id=0, e_num=0, sm_index=0, bar_id=-1, block_id=0)
+    with pytest.raises(RuntimeError):
+        wt.dispatch(0, warp_id=1, e_num=1, sm_index=0, bar_id=-1,
+                    block_id=0)
+    assert_warptable_index_consistent(wt)
+    wt.retire(0)
+    with pytest.raises(RuntimeError):
+        wt.retire(0)
+    assert_warptable_index_consistent(wt)
+
+
+# -- TaskTable dirty-row masks vs brute-force tracking ----------------------
+
+
+def make_table(num_columns=3, rows=8):
+    eng = Engine()
+    bus = PcieBus(eng, TimingModel())
+    return TaskTable(eng, bus, num_columns, rows=rows)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_dirty_row_masks_match_brute_force_model(seed):
+    """Random mark/drain traffic: the table's masks must always equal
+    an independently tracked set of (col, row) marks."""
+    rng = np.random.default_rng(seed)
+    cols, rows = 3, 8
+    table = make_table(cols, rows)
+    model = [set() for _ in range(cols)]  # dirty rows per column
+
+    def assert_masks_match(context):
+        for col in range(cols):
+            expect = 0
+            for row in model[col]:
+                expect |= 1 << row
+            assert table._dirty_rows[col] == expect, context
+            assert table.dirty_row_count(col) == len(model[col]), context
+
+    for step_no in range(800):
+        roll = rng.random()
+        col = int(rng.integers(cols))
+        if roll < 0.6:
+            row = int(rng.integers(rows))
+            table.mark_row_dirty(col, row)
+            model[col].add(row)
+        elif roll < 0.8:
+            mask = table.take_dirty_rows(col)
+            expect = model[col]
+            model[col] = set()
+            assert {r for r in range(rows) if mask >> r & 1} == expect
+        else:
+            row = int(rng.integers(rows))
+            mask = table.take_dirty_rows_above(col, row)
+            taken = {r for r in model[col] if r > row}
+            model[col] -= taken
+            assert {r for r in range(rows) if mask >> r & 1} == taken
+        assert_masks_match(f"seed {seed} step {step_no}")
+    # draining every column empties every mask
+    for col in range(cols):
+        table.take_dirty_rows(col)
+        model[col].clear()
+    assert_masks_match("drained")
+
+
+def test_take_dirty_rows_is_claim_and_clear():
+    table = make_table(1, rows=8)
+    table.mark_row_dirty(0, 2)
+    table.mark_row_dirty(0, 5)
+    mask = table.take_dirty_rows(0)
+    assert mask == (1 << 2) | (1 << 5)
+    assert table.take_dirty_rows(0) == 0
+    assert table.dirty_row_count(0) == 0
+
+
+def test_take_dirty_rows_above_is_strict():
+    """Only bits strictly above the cursor row are claimed; the rest
+    stay queued for the next full wake."""
+    table = make_table(1, rows=8)
+    for row in (0, 3, 4, 7):
+        table.mark_row_dirty(0, row)
+    mask = table.take_dirty_rows_above(0, 3)
+    assert mask == (1 << 4) | (1 << 7)
+    # rows <= 3 still pending
+    assert table.take_dirty_rows(0) == (1 << 0) | (1 << 3)
+
+
+def test_marks_are_idempotent():
+    table = make_table(1, rows=4)
+    for _ in range(5):
+        table.mark_row_dirty(0, 1)
+    assert table.dirty_row_count(0) == 1
+    assert table.take_dirty_rows(0) == 1 << 1
+
+
+def test_columns_are_independent():
+    table = make_table(4, rows=4)
+    table.mark_row_dirty(1, 0)
+    table.mark_row_dirty(3, 2)
+    assert table.take_dirty_rows(0) == 0
+    assert table.take_dirty_rows(1) == 1 << 0
+    assert table.take_dirty_rows(2) == 0
+    assert table.take_dirty_rows(3) == 1 << 2

@@ -66,9 +66,9 @@ def test_any_task_mix_completes_and_drains(task_params, deferred):
     for result in results:
         assert result.end_time >= result.start_time >= result.sched_time
         assert result.sched_time > 0
-    check_session(session)
+    check_session(session, deep=True)
     eng.run()  # drain trailing copy-backs
-    check_quiescent(session)
+    check_quiescent(session, deep=True)
     session.shutdown()
 
 

@@ -35,12 +35,12 @@ def run_session_with_checks(tasks, check_every_ns, config=None):
     while True:
         deadline += check_every_ns
         eng.run(until=deadline)
-        check_session(session)
+        check_session(session, deep=True)
         if len(session.table.finished) >= len(tasks):
             break
         assert deadline < 1e10, "stress run did not converge"
     eng.run()
-    check_quiescent(session)
+    check_quiescent(session, deep=True)
     session.shutdown()
     return results
 
@@ -124,9 +124,11 @@ def test_invariant_checker_detects_corruption():
     mtb = session.master.mtbs[0]
     mtb.warptable.dispatch(0, warp_id=0, e_num=0, sm_index=0,
                            bar_id=-1, block_id=0)
-    # exec slot points at an entry with no spec -> violation
+    # exec slot points at an entry with no spec -> violation (found
+    # only by the deep per-slot walk; the default counter check is
+    # deliberately cheap)
     with pytest.raises(InvariantViolation):
-        check_session(session)
+        check_session(session, deep=True)
     session.shutdown()
 
 

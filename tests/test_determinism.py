@@ -245,3 +245,72 @@ def test_pagoda_golden_schedule_within_rounding(workload, runtime, seed):
     opt = fingerprint(run_tasks(tasks, runtime))
     ref = fingerprint(_run_with_seed_ps(tasks, runtime))
     assert_fingerprints_close(opt, ref)
+
+
+# ---------------------------------------------------------------------------
+# Runtime-layer golden traces: scheduler decisions and buddy allocations
+# ---------------------------------------------------------------------------
+
+def _runtime_layer_trace(use_seed_ps):
+    """Run a Pagoda session recording every scheduler decision and
+    every buddy allocation ``(column, size, offset)``.
+
+    The indexed runtime structures (dirty-row queues, warp free mask,
+    interval buddy) must not change *which* decisions are made or
+    *where* blocks land — only how cheaply they are found.  Comparing
+    these traces between the optimized and seed PS runs pins the whole
+    decision sequence, not just the end-to-end fingerprint.
+    """
+    from repro.core import PagodaConfig
+    from repro.core.runtime import PagodaSession
+    from repro.tasks import TaskResult
+
+    tasks = make_tasks("mpe", 24, 128, seed=5)
+    originals = (smm_mod.ProcessorSharing, device_mod.ProcessorSharing)
+    if use_seed_ps:
+        smm_mod.ProcessorSharing = ReferenceProcessorSharing
+        device_mod.ProcessorSharing = ReferenceProcessorSharing
+    try:
+        session = PagodaSession(config=PagodaConfig(
+            copy_inputs=False, copy_outputs=False, trace_scheduler=True))
+        alloc_log = []
+        for mtb in session.master.mtbs:
+            def logged_alloc(size, _buddy=mtb.buddy, _col=mtb.column,
+                             _orig=None):
+                offset = type(_buddy).alloc(_buddy, size)
+                alloc_log.append((session.engine.now, _col, size, offset))
+                return offset
+            mtb.buddy.alloc = logged_alloc
+
+        eng, host = session.engine, session.host
+        results = [TaskResult(i, t.name) for i, t in enumerate(tasks)]
+
+        def driver():
+            for task, result in zip(tasks, results):
+                yield from host.task_spawn(task, result)
+            yield from host.wait_all()
+
+        eng.spawn(driver())
+        eng.run()
+        trace = session.scheduler_trace
+        decisions = tuple(
+            (name, tuple(trace.series(name))) for name in trace.names()
+        )
+        session.shutdown()
+        return decisions, tuple(alloc_log), eng.now
+    finally:
+        smm_mod.ProcessorSharing, device_mod.ProcessorSharing = originals
+
+
+def test_runtime_layer_golden_traces_exact():
+    """Scheduler decision stream and buddy placement stream are
+    bit-identical between the optimized core and the seed PS run."""
+    opt_decisions, opt_allocs, opt_end = _runtime_layer_trace(False)
+    ref_decisions, ref_allocs, ref_end = _runtime_layer_trace(True)
+    assert opt_allocs, "workload never exercised the buddy allocator"
+    assert any(count for _name, count in
+               ((n, len(s)) for n, s in opt_decisions)), \
+        "scheduler trace is empty"
+    assert opt_decisions == ref_decisions
+    assert opt_allocs == ref_allocs
+    assert opt_end == ref_end
