@@ -12,7 +12,10 @@ If a committed ``BENCH_simcore.json`` already exists, the fresh
 throughputs are compared against it first: any metric that regresses
 by more than ``REGRESSION_TOLERANCE`` (20 %) prints a warning and the
 script exits non-zero (pass ``--no-fail`` to downgrade to a warning
-only).  Wall-clock numbers are machine-dependent; the guard is meant
+only).  A missing or schema-mismatched baseline is not an error — the
+script records a fresh one and exits 0 ("no baseline, recording
+fresh"), so first runs and record-format changes never fail a guard
+that has nothing to guard against.  Wall-clock numbers are machine-dependent; the guard is meant
 to catch order-of-magnitude hot-path regressions, not scheduler noise
 — hence the generous tolerance and best-of-N timing.
 
@@ -244,15 +247,28 @@ def measure() -> dict:
     }
 
 
-def check_regression(record: dict, baseline_path: pathlib.Path) -> list:
-    """Metrics that regressed >tolerance vs the committed baseline."""
+def load_baseline(baseline_path: pathlib.Path):
+    """The committed baseline's metrics, or ``None`` when unusable.
+
+    Missing file, unparsable JSON, a record without a ``metrics``
+    mapping, or non-numeric metric values all count as "no baseline" —
+    the caller records a fresh one instead of crashing, so a first run
+    (or a schema change in the record format) never breaks ``--check``.
+    """
     if not baseline_path.exists():
-        return []
+        return None
     try:
-        baseline = json.loads(baseline_path.read_text())["metrics"]
-    except (ValueError, KeyError):
-        print(f"warning: unreadable baseline {baseline_path}; skipping check")
-        return []
+        metrics = json.loads(baseline_path.read_text())["metrics"]
+    except (ValueError, KeyError, TypeError):
+        return None
+    if not isinstance(metrics, dict) or not all(
+            isinstance(v, (int, float)) for v in metrics.values()):
+        return None
+    return metrics
+
+
+def check_regression(record: dict, baseline: dict) -> list:
+    """Metrics that regressed >tolerance vs the committed baseline."""
     regressed = []
     for key, old in baseline.items():
         new = record["metrics"].get(key)
@@ -282,7 +298,16 @@ def main(argv=None) -> int:
     for key, value in record["wall_s"].items():
         print(f"{key:>24}: {value:>12.3f} s")
 
-    regressed = check_regression(record, args.output)
+    baseline = load_baseline(args.output)
+    if baseline is None:
+        # first run on this machine, or the record schema changed:
+        # nothing comparable to guard against — record and succeed,
+        # even under --check (a guard with no baseline must not fail)
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"no baseline, recording fresh: wrote {args.output}")
+        return 0
+
+    regressed = check_regression(record, baseline)
     if not args.check_only:
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")

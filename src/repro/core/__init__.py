@@ -17,6 +17,16 @@ Layout mirrors the paper's §4-§5 structure:
 """
 
 from repro.core.buddy import BuddyAllocator
+from repro.core.errors import (
+    CudaLaunchError,
+    DegradationEvent,
+    GpuDeadError,
+    QuarantineEvent,
+    RetryPolicy,
+    TaskError,
+    TaskErrorGroup,
+    WatchdogKill,
+)
 from repro.core.host_api import PagodaHost
 from repro.core.masterkernel import MasterKernel, Mtb, MTB_ARENA_BYTES
 from repro.core.named_barriers import NamedBarrierPool, PTX_NAMED_BARRIERS
@@ -38,6 +48,14 @@ from repro.core.warptable import WarpSlot, WarpTable
 
 __all__ = [
     "BuddyAllocator",
+    "CudaLaunchError",
+    "DegradationEvent",
+    "GpuDeadError",
+    "QuarantineEvent",
+    "RetryPolicy",
+    "TaskError",
+    "TaskErrorGroup",
+    "WatchdogKill",
     "PagodaHost",
     "MasterKernel",
     "Mtb",

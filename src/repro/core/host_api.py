@@ -12,13 +12,28 @@ when the spawner runs out of free entries it reclaims the same way.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+import sys
+from typing import Generator, List, Optional
 
+from repro.core.errors import (
+    CudaLaunchError,
+    GpuDeadError,
+    RetryPolicy,
+    TaskError,
+    TaskErrorGroup,
+)
 from repro.core.tasktable import READY_COPIED, READY_SCHEDULING, TaskTable
 from repro.gpu.timing import TimingModel
 from repro.pcie.bus import Direction
 from repro.sim import Engine
 from repro.tasks import TaskResult, TaskSpec
+
+
+def _caller_site(depth: int = 2) -> str:
+    """``file:line`` of the frame ``depth`` levels up (the taskSpawn
+    call site, recorded for TaskError diagnostics)."""
+    frame = sys._getframe(depth)
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
 
 
 #: spawn-protocol variants (§4.2.1): the pipelined taskID protocol is
@@ -30,7 +45,8 @@ class PagodaHost:
     """Host-side runtime state for one Pagoda session."""
 
     def __init__(self, engine: Engine, table: TaskTable,
-                 timing: TimingModel, protocol: str = "pipelined") -> None:
+                 timing: TimingModel, protocol: str = "pipelined",
+                 faults=None) -> None:
         if protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown spawn protocol {protocol!r}; have {PROTOCOLS}"
@@ -39,23 +55,48 @@ class PagodaHost:
         self.table = table
         self.timing = timing
         self.protocol = protocol
+        #: optional :class:`repro.faults.FaultInjector`; spawns draw
+        #: ``cuda.launch_fail``.
+        self.faults = faults
+        #: set by multi-GPU failover when this host's device dies:
+        #: spawn/wait loops raise :class:`GpuDeadError` instead of
+        #: spinning on a device that will never answer.
+        self.dead = False
         #: taskID of the most recent spawn not yet promoted by a
         #: successor or by idle finalization (pipelined protocol only).
         self._prev_unpromoted: Optional[int] = None
         self.spawn_count = 0
 
+    def _check_dead(self) -> None:
+        if self.dead:
+            raise GpuDeadError("the GPU behind this host died mid-run")
+
     # -- taskSpawn -------------------------------------------------------------
 
     def task_spawn(self, spec: TaskSpec,
-                   result: Optional[TaskResult] = None) -> Generator:
+                   result: Optional[TaskResult] = None):
         """Non-blocking spawn; subroutine returns the taskID.
 
         Blocks only while *no TaskTable entry is free*, in which case it
         reclaims entries via copy-back exactly as the paper's spawner
         does.
         """
+        # plain call (not yet a generator frame): grab the caller's
+        # file:line before returning the coroutine that does the work
+        return self._task_spawn(spec, result, _caller_site())
+
+    def _task_spawn(self, spec: TaskSpec, result: Optional[TaskResult],
+                    spawn_site: str) -> Generator:
+        self._check_dead()
+        if self.faults is not None:
+            if self.faults.draw("cuda.launch_fail", spec.name) is not None:
+                raise CudaLaunchError(
+                    f"taskSpawn of {spec.name!r} failed "
+                    "(injected cuda.launch_fail)"
+                )
         yield self.timing.spawn_cpu_ns
         while True:
+            self._check_dead()
             loc = self.table.take_free_entry()
             if loc is not None:
                 break
@@ -65,6 +106,7 @@ class PagodaHost:
             result = TaskResult(0, spec.name)
         if not result.spawn_time:
             result.spawn_time = self.engine.now
+        result.spawn_site = spawn_site
         prev = (
             self._prev_unpromoted if self.protocol == "pipelined" else None
         )
@@ -138,17 +180,67 @@ class PagodaHost:
         """Block until the given task is observed complete.
 
         Raises ``KeyError`` for a taskID that was never issued (waiting
-        on it would otherwise spin forever)."""
+        on it would otherwise spin forever), :class:`TaskError` if the
+        task *failed* instead of completing (the error carries the task
+        id, slot, and taskSpawn call site), and :class:`GpuDeadError`
+        if the device dies while waiting — a failed task is always an
+        error, never a hang."""
         if task_id not in self.table.id_map:
             raise KeyError(f"unknown taskID {task_id}")
         while not self.check(task_id):
+            self._check_dead()
             yield from self.finalize_last()
             yield self.timing.wait_timeout_ns
             yield from self.table.copy_back()
+        err = self.table.errors.get(task_id)
+        if err is not None:
+            raise err
+
+    def task_errors(self) -> List[TaskError]:
+        """Failures observed so far, in taskID order."""
+        return [self.table.errors[tid] for tid in sorted(self.table.errors)]
 
     def wait_all(self) -> Generator:
-        """Block until every spawned task is observed complete."""
+        """Block until every spawned task is observed complete.
+
+        Raises :class:`TaskError` (one failure) or
+        :class:`TaskErrorGroup` (several) after *all* tasks have been
+        observed — failures surface, they never wedge the wait."""
         while len(self.table.finished) < self.spawn_count:
+            self._check_dead()
             yield from self.finalize_last()
             yield self.timing.wait_timeout_ns
             yield from self.table.copy_back()
+        errs = self.task_errors()
+        if errs:
+            raise errs[0] if len(errs) == 1 else TaskErrorGroup(errs)
+
+    # -- hardened spawn (retry with capped exponential backoff) ----------------
+
+    def task_spawn_with_retry(self, spec: TaskSpec,
+                              result: Optional[TaskResult] = None,
+                              policy: Optional[RetryPolicy] = None):
+        """Spawn, wait, and re-spawn on failure (capped exponential
+        backoff); subroutine returns the taskID of the attempt that
+        completed.  After ``policy.max_attempts`` failures the last
+        error propagates."""
+        return self._task_spawn_with_retry(spec, result, policy,
+                                           _caller_site())
+
+    def _task_spawn_with_retry(self, spec: TaskSpec,
+                               result: Optional[TaskResult],
+                               policy: Optional[RetryPolicy],
+                               spawn_site: str) -> Generator:
+        policy = policy or RetryPolicy()
+        attempt = 0
+        while True:
+            try:
+                res = result if result is not None else TaskResult(0, spec.name)
+                task_id = yield from self._task_spawn(spec, res, spawn_site)
+                yield from self.wait(task_id)
+                return task_id
+            except (TaskError, CudaLaunchError):
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise
+                yield policy.backoff_ns(attempt - 1)

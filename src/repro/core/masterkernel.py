@@ -20,9 +20,11 @@ from typing import Dict, Generator, List, Optional
 import numpy as np
 
 from repro.core.buddy import BuddyAllocator
+from repro.core.errors import TaskError, WatchdogKill
 from repro.core.named_barriers import NamedBarrierPool
 from repro.core.tasktable import (
     READY_COPIED,
+    READY_FREE,
     READY_SCHEDULING,
     TaskEntry,
     TaskTable,
@@ -32,7 +34,7 @@ from repro.device_api import BlockContext
 from repro.gpu.device import Gpu
 from repro.gpu.phases import BlockSync, Phase
 from repro.gpu.smm import Smm
-from repro.sim import Engine, TimeWeighted
+from repro.sim import Engine, Event, TimeWeighted
 from repro.tasks import TaskSpec
 
 #: Shared memory each MTB statically reserves for task use on the
@@ -66,13 +68,24 @@ def mtb_arena_bytes(spec) -> int:
 @dataclass(slots=True)
 class ExecState:
     """Per-task execution bookkeeping attached to a TaskTable entry
-    (the paper's ctr[]/doneCtr[] shared-memory counters)."""
+    (the paper's ctr[]/doneCtr[] shared-memory counters).
+
+    ``block_sm_offset`` / ``block_bar_id`` double as the task's live
+    resource ledger: entries are recorded the instant a block's arena
+    offset or barrier ID is acquired (before any further scheduler
+    yield) and popped when the block releases them, so a mid-flight
+    kill can free exactly what the task still holds.
+    """
 
     done_ctr: int
     block_warps_left: Dict[int, int]
     block_sm_offset: Dict[int, Optional[int]] = field(default_factory=dict)
     block_bar_id: Dict[int, int] = field(default_factory=dict)
     started: bool = False
+    #: set when the runtime killed the task (watchdog deadline,
+    #: brown-out, kernel exception); placement loops abandon the task
+    #: at their next wake instead of re-acquiring resources for it.
+    killed: bool = False
 
 
 class Mtb:
@@ -83,7 +96,8 @@ class Mtb:
                  serial_psched: bool = False,
                  arena_bytes: int = MTB_ARENA_BYTES,
                  deferred_scheduling: bool = False,
-                 trace=None) -> None:
+                 trace=None, watchdog_deadline_ns: Optional[float] = None,
+                 faults=None) -> None:
         self.engine = engine
         self.gpu = gpu
         self.smm = smm
@@ -103,6 +117,13 @@ class Mtb:
         self.deferred_scheduling = deferred_scheduling
         #: optional Recorder for scheduler-decision tracing
         self.trace = trace
+        #: tasks still occupying GPU state this long after their
+        #: scheduling started are presumed wedged and reclaimed (None
+        #: disables the watchdog).
+        self.watchdog_deadline_ns = watchdog_deadline_ns
+        #: optional :class:`repro.faults.FaultInjector`; executor warps
+        #: draw ``gpu.slow_warp`` / ``gpu.stuck_warp`` / ``task.*``.
+        self.faults = faults
         self.arena_bytes = arena_bytes
         self.warptable = WarpTable()
         self.buddy = BuddyAllocator(arena_bytes)
@@ -113,7 +134,12 @@ class Mtb:
         #: executor warps currently running task work (useful occupancy).
         self.busy_warps = TimeWeighted()
         self.tasks_executed = 0
-        self._procs = [engine.spawn(self._scheduler(), f"sched.mtb{column}")]
+        #: tasks killed instead of completing (watchdog, brown-out,
+        #: kernel exception, injected fault).
+        self.tasks_failed = 0
+        self.watchdog_kills: List[WatchdogKill] = []
+        self._procs = [engine.spawn(self._scheduler(), f"sched.mtb{column}",
+                                    daemon=True)]
         #: executor warps are spawned lazily on the first dispatch of
         #: their slot (bit i set <=> slot i's process exists).  Idle
         #: warps in the real MasterKernel spin on their exec flag
@@ -121,6 +147,9 @@ class Mtb:
         #: handed work need not exist in the simulation — most
         #: workloads touch a handful of the 31 slots per MTB.
         self._exec_spawned = 0
+        #: slot index -> live executor process, so a kill can interrupt
+        #: exactly the warps running the dead task.
+        self._exec_procs: Dict[int, object] = {}
 
     def shutdown(self) -> None:
         """Interrupt this component's daemon processes."""
@@ -219,6 +248,15 @@ class Mtb:
             self.table.mark_row_dirty(self.column, row)
             self.table.register_promotion_waiter(pcol, prow, self.column)
             return
+        elif (prev.task_id != prev_id
+              and prev_id not in self.table.gpu_finished):
+            # the slot holds some other task and the predecessor never
+            # finished: its posted write has not landed yet (a delayed /
+            # reordered mapped write), so OUR pointer overtook it.
+            # Defer until the predecessor's entry lands.
+            self.table.mark_row_dirty(self.column, row)
+            self.table.register_promotion_waiter(pcol, prow, self.column)
+            return
         # else: predecessor already promoted (host finalization) or
         # finished — nothing to promote.
         entry.ready = READY_COPIED
@@ -251,6 +289,15 @@ class Mtb:
             block_warps_left={b: wpb for b in range(task.num_blocks)},
         )
         entry.exec_state = state
+        if self.watchdog_deadline_ns is not None:
+            # one-shot deadline armed per task at schedule time; the
+            # callback is generation-guarded (taskID + ready state) so
+            # a completed task's stale callback is a no-op
+            tid = entry.task_id
+            self.engine.call_after(
+                self.watchdog_deadline_ns,
+                lambda: self._watchdog_check(row, tid),
+            )
         if task.shared_mem_bytes > 0 or task.needs_sync:
             # per-threadblock placement (Algorithm 1 lines 17-26)
             for block in range(task.num_blocks):
@@ -266,7 +313,14 @@ class Mtb:
                             bar_id = got
                             break
                         yield retry
+                        if state.killed:
+                            return
+                    # record before yielding: a kill during the
+                    # management window must see (and free) this ID
+                    state.block_bar_id[block] = bar_id
                     yield self.timing.barrier_mgmt_ns
+                else:
+                    state.block_bar_id[block] = bar_id
                 offset: Optional[int] = None
                 if task.shared_mem_bytes > 0:
                     while True:
@@ -276,16 +330,27 @@ class Mtb:
                         retry = self.warptable.free_signal.wait()
                         self.buddy.flush_deferred()  # line 22
                         offset = self.buddy.alloc(task.shared_mem_bytes)
+                        if offset is not None:
+                            # ledger update precedes the alloc-cost
+                            # yield so a mid-window kill frees it
+                            state.block_sm_offset[block] = offset
                         yield self.timing.smem_alloc_ns
                         if offset is not None:
                             break
                         yield retry
-                state.block_sm_offset[block] = offset
-                state.block_bar_id[block] = bar_id
+                        if state.killed:
+                            return
+                else:
+                    state.block_sm_offset[block] = offset
+                if state.killed:
+                    return
                 yield from self._psched(
                     row, base_warp=block * wpb, count=wpb,
                     sm_index=offset or 0, bar_id=bar_id, wpb=wpb,
+                    state=state,
                 )
+                if state.killed:
+                    return
         else:
             # schedule every warp of every block in one go (line 28)
             for block in range(task.num_blocks):
@@ -293,11 +358,12 @@ class Mtb:
                 state.block_bar_id[block] = -1
             yield from self._psched(
                 row, base_warp=0, count=task.total_warps,
-                sm_index=0, bar_id=-1, wpb=wpb,
+                sm_index=0, bar_id=-1, wpb=wpb, state=state,
             )
 
     def _psched(self, row: int, base_warp: int, count: int, sm_index: int,
-                bar_id: int, wpb: int) -> Generator:
+                bar_id: int, wpb: int,
+                state: Optional[ExecState] = None) -> Generator:
         """Algorithm 2: the scheduler warp's threads claim free executor
         warps in parallel; loop until ``count`` warps are placed."""
         wt = self.warptable
@@ -307,6 +373,10 @@ class Mtb:
             # lost wakeup
             retry = wt.free_signal.wait()
             yield self.timing.psched_pass_ns
+            if state is not None and state.killed:
+                # the task died during the scan window; dispatching its
+                # remaining warps would hand executors a freed entry
+                return
             take = min(wt.free_count, count - placed)
             if self.serial_psched:
                 take = min(take, 1)  # ablation: one placement per pass
@@ -329,14 +399,19 @@ class Mtb:
                 bit = 1 << slot
                 if not self._exec_spawned & bit:
                     self._exec_spawned |= bit
-                    self._procs.append(self.engine.spawn(
+                    proc = self.engine.spawn(
                         self._executor(slot),
                         f"exec.mtb{self.column}.{slot}",
-                    ))
+                        daemon=True,
+                    )
+                    self._procs.append(proc)
+                    self._exec_procs[slot] = proc
                 else:
                     wt.notify_work(slot)
             if placed < count:
                 yield retry
+                if state is not None and state.killed:
+                    return
 
     # -- executor warps (Algorithm 1, lines 29-43) ----------------------------
 
@@ -360,21 +435,66 @@ class Mtb:
                 if entry.result is not None:
                     entry.result.start_time = engine.now
             local_warp = slot.warp_id - slot.block_id * task.warps_per_block
-            for item in task.warp_phases(slot.block_id, local_warp):
-                if isinstance(item, Phase):
-                    yield from execute_phase(item, dram)
-                elif isinstance(item, BlockSync):
-                    if slot.bar_id < 0:
-                        raise RuntimeError(
-                            f"task {task.name!r} called syncBlock() but "
-                            "was spawned without the sync flag (Table 1: "
-                            "taskSpawn's sync flag allocates the named "
-                            "barrier)"
-                        )
-                    yield self.timing.named_barrier_ns
-                    yield self.barriers.barrier(slot.bar_id).arrive()
-                else:
-                    raise TypeError(f"kernel yielded {item!r}")
+            fail_reason: Optional[str] = None
+            faults = self.faults
+            if faults is not None:
+                site = task.name
+                slow = faults.draw("gpu.slow_warp", site)
+                if slow is not None:
+                    # a down-clocked warp: the whole warp body runs
+                    # late by the injected stall
+                    yield slow.magnitude_ns
+                if (faults.draw("gpu.stuck_warp", site) is not None
+                        or faults.draw("task.no_yield", site) is not None):
+                    # wedged warp / kernel that never yields: nothing
+                    # but the watchdog's interrupt reclaims this slot
+                    yield Event()
+                    continue  # pragma: no cover - only via force-wake
+                spec = (faults.draw("task.poison", site)
+                        or faults.draw("task.raise", site))
+                if spec is not None:
+                    fail_reason = f"injected fault {spec.kind}"
+            if fail_reason is None:
+                phases = task.warp_phases(slot.block_id, local_warp)
+                while True:
+                    try:
+                        item = next(phases)
+                    except StopIteration:
+                        break
+                    except Exception as exc:
+                        # a kernel coroutine raised: convert to a
+                        # structured TaskError carried in the TaskTable
+                        # row instead of letting the exception escape
+                        # into the engine loop
+                        fail_reason = (f"kernel exception: "
+                                       f"{type(exc).__name__}: {exc}")
+                        break
+                    if isinstance(item, Phase):
+                        yield from execute_phase(item, dram)
+                    elif isinstance(item, BlockSync):
+                        if slot.bar_id < 0:
+                            # a programming error in the *spawn*, not a
+                            # kernel failure: diagnose loudly (tests
+                            # rely on this propagating)
+                            raise RuntimeError(
+                                f"task {task.name!r} called syncBlock() "
+                                "but was spawned without the sync flag "
+                                "(Table 1: taskSpawn's sync flag "
+                                "allocates the named barrier)"
+                            )
+                        yield self.timing.named_barrier_ns
+                        yield self.barriers.barrier(slot.bar_id).arrive()
+                    else:
+                        raise TypeError(f"kernel yielded {item!r}")
+            if fail_reason is not None:
+                # this warp kills the whole task; its own slot is
+                # excluded from the reclaim sweep (a generator cannot
+                # interrupt itself) and retired on the normal path below
+                self.fail_entry(slot.e_num, entry, fail_reason,
+                                skip_slot=slot_index)
+                busy_warps.add(engine.now, -1)
+                wt.retire(slot_index)
+                continue
             self._warp_epilogue(slot.e_num, slot.block_id,
                                 entry, task, state)
             busy_warps.add(engine.now, -1)
@@ -392,10 +512,12 @@ class Mtb:
         if state.block_warps_left[block_id] == 0:
             if self.functional and task.func is not None:
                 self._run_block_functional(task, block_id, state)
-            offset = state.block_sm_offset.get(block_id)
+            # pop (not get): the ledger must only list resources the
+            # task still holds, so a later kill frees nothing twice
+            offset = state.block_sm_offset.pop(block_id, None)
             if offset is not None:
                 self.buddy.mark_for_dealloc(offset)  # line 37
-            bar_id = state.block_bar_id.get(block_id, -1)
+            bar_id = state.block_bar_id.pop(block_id, -1)
             if bar_id >= 0:
                 self.barriers.release(bar_id)  # line 39
         state.done_ctr -= 1  # line 41's atomicDec
@@ -407,6 +529,105 @@ class Mtb:
                 self.trace.sample("task_done", self.engine.now,
                                   entry.task_id)
             self.table.gpu_complete(self.column, row)  # line 42
+
+    # -- hardening: kill / watchdog / brown-out --------------------------------
+
+    def fail_entry(self, row: int, entry: TaskEntry, reason: str,
+                   skip_slot: Optional[int] = None) -> Optional[TaskError]:
+        """Kill a task mid-flight and free everything it holds.
+
+        Reclaims the executor warps still running (or wedged on) the
+        task, returns its arena blocks and barrier IDs from the
+        ExecState ledger, and completes the TaskTable entry with a
+        :class:`TaskError` so ``wait()`` raises instead of hanging.
+        ``skip_slot`` names the calling executor's own slot (it retires
+        itself after this returns).
+        """
+        state: Optional[ExecState] = entry.exec_state
+        if state is not None and state.killed:
+            return None  # already being torn down
+        task = entry.spec
+        err = TaskError(
+            entry.task_id,
+            task.name if task is not None else "?",
+            reason,
+            spawn_site=getattr(entry.result, "spawn_site", "") or "",
+            column=self.column, row=row, when_ns=self.engine.now,
+        )
+        if state is not None:
+            state.killed = True
+        wt = self.warptable
+        for idx, slot in enumerate(wt.slots):
+            if not slot.exec_flag or slot.e_num != row or idx == skip_slot:
+                continue
+            proc = self._exec_procs.pop(idx, None)
+            if proc is not None:
+                proc.interrupt()
+                self._exec_spawned &= ~(1 << idx)
+            self.busy_warps.add(self.engine.now, -1)
+            wt.retire(idx)
+        if state is not None:
+            for offset in state.block_sm_offset.values():
+                if offset is not None:
+                    self.buddy.mark_for_dealloc(offset)
+            state.block_sm_offset.clear()
+            for bar_id in state.block_bar_id.values():
+                if bar_id >= 0:
+                    self.barriers.force_release(bar_id)
+            state.block_bar_id.clear()
+        if entry.result is not None:
+            entry.result.end_time = self.engine.now
+        self.tasks_failed += 1
+        if self.trace is not None:
+            self.trace.sample("task_fail", self.engine.now, entry.task_id)
+        self.table.gpu_complete(self.column, row, error=err)
+        # freed warps / arena / barriers may unblock queued rows
+        self.table.column_signals[self.column].pulse()
+        return err
+
+    def _watchdog_check(self, row: int, task_id: int) -> None:
+        """One-shot deadline callback armed by ``_schedule_task``.
+
+        Generation-guarded: if the slot finished (ready back to 0) or
+        was reused by a later task (different taskID), this is a stale
+        timer and does nothing.
+        """
+        entry = self.table.gpu[self.column][row]
+        if entry.task_id != task_id or entry.ready == READY_FREE:
+            return
+        state: Optional[ExecState] = entry.exec_state
+        if state is None or state.killed:
+            return
+        deadline = self.watchdog_deadline_ns or 0.0
+        err = self.fail_entry(
+            row, entry,
+            f"watchdog: task exceeded its {deadline:.0f}ns deadline",
+        )
+        if err is not None:
+            self.watchdog_kills.append(WatchdogKill(
+                when_ns=self.engine.now, task_id=task_id, name=err.name,
+                column=self.column, row=row, deadline_ns=deadline,
+            ))
+
+    def brownout(self, reason: str = "gpu.brownout") -> int:
+        """An SMM brown-out evicts every task resident on this MTB.
+
+        Queued-but-unscheduled entries survive (they hold no SMM
+        state); each resident task dies with a :class:`TaskError` and
+        its resources return to the pools, so the MTB keeps scheduling
+        afterwards.  Returns the number of tasks killed.
+        """
+        col = self.table.gpu[self.column]
+        killed = 0
+        for row in range(self.table.rows):
+            entry = col[row]
+            if entry.ready == READY_FREE or entry.exec_state is None:
+                continue
+            if entry.exec_state.killed:
+                continue
+            if self.fail_entry(row, entry, reason) is not None:
+                killed += 1
+        return killed
 
     def _run_block_functional(self, task: TaskSpec, block_id: int,
                               state: ExecState) -> None:
@@ -427,7 +648,8 @@ class MasterKernel:
                  functional: bool = False,
                  serial_psched: bool = False,
                  deferred_scheduling: bool = False,
-                 trace=None) -> None:
+                 trace=None, watchdog_deadline_ns: Optional[float] = None,
+                 faults=None) -> None:
         expected_columns = gpu.spec.num_smms * MTBS_PER_SMM
         if table.num_columns != expected_columns:
             raise ValueError(
@@ -451,7 +673,9 @@ class MasterKernel:
                 self.mtbs.append(
                     Mtb(engine, gpu, smm, table, column, functional,
                         serial_psched, self.arena_bytes,
-                        deferred_scheduling, trace)
+                        deferred_scheduling, trace,
+                        watchdog_deadline_ns=watchdog_deadline_ns,
+                        faults=faults)
                 )
                 column += 1
 
@@ -463,6 +687,20 @@ class MasterKernel:
     def tasks_executed(self) -> int:
         """Total tasks completed across all MTBs."""
         return sum(mtb.tasks_executed for mtb in self.mtbs)
+
+    def tasks_failed(self) -> int:
+        """Total tasks killed (watchdog, brown-out, kernel exception)."""
+        return sum(mtb.tasks_failed for mtb in self.mtbs)
+
+    def watchdog_kills(self) -> List[WatchdogKill]:
+        """Every watchdog reclamation, in kill-time order."""
+        kills = [k for mtb in self.mtbs for k in mtb.watchdog_kills]
+        kills.sort(key=lambda k: k.when_ns)
+        return kills
+
+    def brownout(self, column: int, reason: str = "gpu.brownout") -> int:
+        """Brown-out one MTB's SMM residency (see :meth:`Mtb.brownout`)."""
+        return self.mtbs[column].brownout(reason)
 
     def useful_occupancy(self, end: Optional[float] = None) -> float:
         """Time-averaged fraction of executor warps running task work."""

@@ -46,15 +46,32 @@ class NamedBarrierPool:
             raise ValueError(f"barrier id {bar_id} is not acquired") from None
 
     def release(self, bar_id: int) -> None:
-        """Recycle an ID once its threadblock has finished."""
-        if bar_id not in self._barriers:
+        """Recycle an ID once its threadblock has finished.
+
+        Refuses while warps are still parked at the barrier — and the
+        refusal leaves the ID *bound*, so the caller can retry after
+        the stragglers arrive (popping first would leak the ID: neither
+        free nor acquired).
+        """
+        bar = self._barriers.get(bar_id)
+        if bar is None:
             raise ValueError(f"barrier id {bar_id} is not acquired")
-        bar = self._barriers.pop(bar_id)
         if bar.waiting:
             raise RuntimeError(
                 f"releasing barrier {bar_id} with {bar.waiting} warps waiting"
             )
+        del self._barriers[bar_id]
         self._free.append(bar_id)
+
+    def force_release(self, bar_id: int) -> None:
+        """Reclaim an ID whose threadblock was killed mid-flight.
+
+        Unlike :meth:`release`, tolerates warps still parked at the
+        barrier: the kill path interrupts them too, so the pending
+        generation is discarded rather than completed.  Idempotent.
+        """
+        if self._barriers.pop(bar_id, None) is not None:
+            self._free.append(bar_id)
 
     @property
     def available(self) -> int:

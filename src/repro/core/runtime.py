@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.errors import CudaLaunchError, RetryPolicy
 from repro.core.host_api import PagodaHost
 from repro.core.masterkernel import MTBS_PER_SMM, MasterKernel
 from repro.core.tasktable import TaskTable
@@ -70,6 +71,17 @@ class PagodaConfig:
     #: (skip the per-transaction setup when the stream never idled).
     #: Off by default so figure numbers match the paper's cost model.
     pcie_coalesce: bool = False
+    #: optional :class:`repro.faults.FaultPlan`; attaching one wires a
+    #: seeded FaultInjector into every layer of the stack.  ``None``
+    #: (and a zero-fault plan) leaves scheduling bit-identical to the
+    #: fault-free run.
+    fault_plan: Optional[object] = None
+    #: kill-and-reclaim tasks still on the GPU this long after their
+    #: scheduling started (None disables the MasterKernel watchdog).
+    watchdog_deadline_ns: Optional[float] = None
+    #: consecutive lethal failures before a TaskTable slot is retired
+    #: from the free list (None disables quarantine).
+    quarantine_threshold: Optional[int] = 3
 
 
 class PagodaSession:
@@ -85,12 +97,22 @@ class PagodaSession:
         # a shared engine lets several sessions (e.g. one per GPU of a
         # multi-GPU node) advance on one simulated clock
         self.engine = engine or Engine()
+        #: seeded fault injector shared by every layer (None when the
+        #: config carries no fault plan).
+        self.faults = None
+        if self.config.fault_plan is not None:
+            from repro.faults import FaultInjector
+            self.faults = FaultInjector(self.engine, self.config.fault_plan)
         self.gpu = Gpu(self.engine, self.spec, self.timing)
         self.bus = PcieBus(self.engine, self.timing,
-                           coalesce=self.config.pcie_coalesce)
+                           coalesce=self.config.pcie_coalesce,
+                           faults=self.faults)
         num_columns = self.spec.num_smms * MTBS_PER_SMM
-        self.table = TaskTable(self.engine, self.bus, num_columns,
-                               rows=self.config.rows)
+        self.table = TaskTable(
+            self.engine, self.bus, num_columns, rows=self.config.rows,
+            faults=self.faults,
+            quarantine_threshold=self.config.quarantine_threshold,
+        )
         from repro.sim import Recorder
         self.scheduler_trace = (
             Recorder() if self.config.trace_scheduler else None
@@ -101,9 +123,27 @@ class PagodaSession:
             serial_psched=self.config.serial_psched,
             deferred_scheduling=self.config.deferred_scheduling,
             trace=self.scheduler_trace,
+            watchdog_deadline_ns=self.config.watchdog_deadline_ns,
+            faults=self.faults,
         )
         self.host = PagodaHost(self.engine, self.table, self.timing,
-                               protocol=self.config.protocol)
+                               protocol=self.config.protocol,
+                               faults=self.faults)
+        if self.faults is not None:
+            self._arm_timed_faults(num_columns)
+
+    def _arm_timed_faults(self, num_columns: int) -> None:
+        """Schedule the plan's time-triggered faults (SMM brown-outs)
+        as engine callbacks.  ``gpu.die`` specs are left to the
+        multi-GPU node, which owns device lifetime."""
+        for spec in self.faults.time_triggered("gpu.brownout"):
+            column = (spec.target or 0) % num_columns
+
+            def fire(s=spec, c=column):
+                self.master.brownout(c, reason=s.kind)
+                self.faults.record_fired(s, f"mtb{c}")
+
+            self.engine.call_at(spec.at_ns, fire)
 
     def shutdown(self) -> None:
         """Interrupt this component's daemon processes."""
@@ -126,6 +166,11 @@ def run_pagoda(tasks: List[TaskSpec],
 
     if config.batch_size and config.spawner_threads != 1:
         raise ValueError("batching mode requires a single spawner thread")
+    retry_policy = RetryPolicy()
+    # the watchdog's stale one-shot timers outlive the workload and
+    # inflate engine.now; the makespan is the instant the collector
+    # finished, not when the queue drained
+    finish_time = [0.0]
 
     def spawner(indices):
         for count, i in enumerate(indices):
@@ -146,7 +191,18 @@ def run_pagoda(tasks: List[TaskSpec],
                     bus.transfer(task.input_bytes, Direction.H2D),
                     f"incopy.{i}",
                 )
-            task_id = yield from host.task_spawn(task, results[i])
+            attempt = 0
+            while True:
+                try:
+                    task_id = yield from host.task_spawn(task, results[i])
+                    break
+                except CudaLaunchError:
+                    # injected cudaErrorLaunchFailure: back off and
+                    # re-issue (capped exponential) instead of dying
+                    attempt += 1
+                    if attempt >= retry_policy.max_attempts:
+                        raise
+                    yield retry_policy.backoff_ns(attempt - 1)
             id_to_task[task_id] = task
             if config.batch_size and (count + 1) % config.batch_size == 0:
                 yield from host.wait_all()
@@ -182,19 +238,34 @@ def run_pagoda(tasks: List[TaskSpec],
                 break
         for proc in transfers:
             yield proc
+        finish_time[0] = engine.now
 
     collector_proc = engine.spawn(collector(), "collector")
-    engine.run()
+    engine.run(raise_on_deadlock=True)
     if not collector_proc._done:
         raise RuntimeError("Pagoda run did not complete (deadlock?)")
-    makespan = engine.now
+    makespan = finish_time[0]
     session.shutdown()
 
     executed = session.master.tasks_executed()
-    if executed != len(tasks):
+    failed = session.master.tasks_failed()
+    if executed != len(tasks) and session.faults is None:
         raise RuntimeError(
             f"executed {executed} of {len(tasks)} tasks"
         )
+    meta = {
+        "entry_copies": table.entry_copies,
+        "copy_backs": table.copy_backs,
+    }
+    if session.faults is not None:
+        meta.update({
+            "faults_injected": session.faults.injected_count,
+            "tasks_failed": failed,
+            "task_errors": {e.task_id: e.reason
+                            for e in session.host.task_errors()},
+            "watchdog_kills": len(session.master.watchdog_kills()),
+            "quarantined_slots": sorted(table.quarantined),
+        })
     return RunStats(
         runtime="pagoda" if not config.batch_size else "pagoda-batching",
         makespan=makespan,
@@ -202,8 +273,5 @@ def run_pagoda(tasks: List[TaskSpec],
         copy_time=bus.total_busy_time(),
         compute_time=max(r.end_time for r in results) if results else 0.0,
         mean_occupancy=session.master.useful_occupancy(makespan),
-        meta={
-            "entry_copies": table.entry_copies,
-            "copy_backs": table.copy_backs,
-        },
+        meta=meta,
     )

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
+from repro.core.errors import QuarantineEvent, TaskError
 from repro.pcie.bus import Direction, PcieBus
 from repro.sim import Engine, Signal
 from repro.tasks import TaskResult, TaskSpec
@@ -58,6 +59,11 @@ class TaskEntry:
     #: host's copy-back skips such entries (it knows which spawns have
     #: completed their transaction from the pipelining pointer).
     inflight: bool = False
+    #: structured failure attached when the task died instead of
+    #: completing (watchdog kill, kernel exception, brown-out); copied
+    #: to the CPU mirror by the next aggregate copy-back so ``wait()``
+    #: can re-raise it.
+    error: Optional[TaskError] = None
 
     def protocol_state(self) -> Tuple[int, int]:
         """(ready, sched) — the Fig. 2 state pair."""
@@ -68,11 +74,20 @@ class TaskTable:
     """Both mirrors plus the transfer machinery between them."""
 
     def __init__(self, engine: Engine, bus: PcieBus, num_columns: int,
-                 rows: int = 32) -> None:
+                 rows: int = 32, faults=None,
+                 quarantine_threshold: Optional[int] = 3) -> None:
         if num_columns < 1 or rows < 1:
             raise ValueError("table must have at least one column and row")
         self.engine = engine
         self.bus = bus
+        #: optional :class:`repro.faults.FaultInjector`; hook points
+        #: draw ``pcie.reorder`` (entry posted-write lands late, out of
+        #: order w.r.t. later writes) and ``pcie.stale_read`` (a lazy
+        #: copy-back observes a completion one aggregate update late).
+        self.faults = faults
+        #: consecutive-failure count at which a slot is retired from
+        #: the free list (None disables quarantine entirely).
+        self.quarantine_threshold = quarantine_threshold
         self.timing = bus.timing
         self.num_columns = num_columns
         self.rows = rows
@@ -124,6 +139,21 @@ class TaskTable:
         # target entry had not reached ready == -1 yet; keyed by the
         # target location.
         self._promotion_waiters: Dict[Tuple[int, int], List[int]] = {}
+        #: taskIDs the GPU side has finished (success *or* failure).
+        #: Schedulers consult this when a pipelining pointer names a
+        #: task whose slot has already been reused — distinguishing
+        #: "predecessor done, promote now" from "predecessor's posted
+        #: write has not landed yet, defer" (only distinguishable once
+        #: faults can delay posted writes).
+        self.gpu_finished: Set[int] = set()
+        #: structured failures by taskID, populated by copy-backs;
+        #: ``wait()`` re-raises from here.
+        self.errors: Dict[int, TaskError] = {}
+        #: slots retired after repeated lethal failures (never returned
+        #: to the free list again).
+        self.quarantined: Set[Tuple[int, int]] = set()
+        self.quarantine_events: List[QuarantineEvent] = []
+        self._slot_failures: Dict[Tuple[int, int], int] = {}
 
     # -- geometry / ids ------------------------------------------------------
 
@@ -192,9 +222,17 @@ class TaskTable:
     # -- CPU-side spawn path ---------------------------------------------------
 
     def take_free_entry(self) -> Optional[Tuple[int, int]]:
-        """Pop a CPU-side entry known to be free (ready == 0)."""
+        """Pop a CPU-side entry known to be free (ready == 0).
+
+        Quarantined slots are skipped: once a slot has killed
+        ``quarantine_threshold`` tasks in a row it is presumed bad
+        (stuck hardware warp, corrupted shared-memory line) and retired
+        rather than handed to yet another victim.
+        """
         while self._cpu_free:
             col, row = self._cpu_free.pop()
+            if (col, row) in self.quarantined:
+                continue
             if self.cpu[col][row].ready == READY_FREE:
                 return (col, row)
         return None
@@ -239,8 +277,17 @@ class TaskTable:
         callback instead of a full process lifecycle (the spawn path
         issues one of these per task, so the per-process overhead was
         pure simulator tax)."""
-        self.engine.call_after(self.timing.mapped_write_ns,
-                               lambda: self._land_entry(col, row))
+        delay = self.timing.mapped_write_ns
+        faults = self.faults
+        if faults is not None:
+            spec = faults.draw("pcie.reorder", f"entry:{col}:{row}")
+            if spec is not None:
+                # the posted write is reordered past later stores: it
+                # becomes visible magnitude_ns beyond the normal
+                # mapped-write window, so a successor's pipelining
+                # pointer can land first
+                delay += spec.magnitude_ns
+        self.engine.call_after(delay, lambda: self._land_entry(col, row))
 
     def _land_entry(self, col: int, row: int) -> None:
         """The posted write becomes visible in the GPU mirror."""
@@ -256,6 +303,7 @@ class TaskTable:
         src.inflight = False
         self.entry_copies += 1
         self.mark_row_dirty(col, row)
+        self.notify_ready_copied(col, row)
         self.column_signals[col].pulse()
 
     def copy_entry_two_transactions(self, col: int, row: int) -> Generator:
@@ -346,6 +394,7 @@ class TaskTable:
         yield from self.bus.transfer(nbytes, Direction.D2H)
         self.copy_backs += 1
         drained, self._completed_unreported = self._completed_unreported, []
+        faults = self.faults
         for col, row in drained:
             gpu = self.gpu[col][row]
             cpu = self.cpu[col][row]
@@ -355,11 +404,23 @@ class TaskTable:
                 # entry.
                 self._completed_unreported.append((col, row))
                 continue
+            if faults is not None and faults.draw(
+                    "pcie.stale_read", f"entry:{col}:{row}") is not None:
+                # the aggregate D2H read raced the GPU's protocol-word
+                # store and returned the pre-completion value; the
+                # completion is observed one copy-back late (it is
+                # *not* lost — the next aggregate update sees it)
+                self._completed_unreported.append((col, row))
+                continue
             cpu.ready = gpu.ready
             cpu.sched = gpu.sched
+            if gpu.error is not None:
+                cpu.error = gpu.error
+                self.errors[cpu.task_id] = gpu.error
             self.finished.add(cpu.task_id)
             self._newly_finished.append(cpu.task_id)
-            self._cpu_free.append((col, row))
+            if (col, row) not in self.quarantined:
+                self._cpu_free.append((col, row))
 
     def drain_completions(self) -> List[int]:
         """TaskIDs newly observed finished since the last drain.
@@ -395,13 +456,47 @@ class TaskTable:
 
     # -- GPU-side completion ------------------------------------------------
 
-    def gpu_complete(self, col: int, row: int) -> None:
-        """Last executor warp frees the entry (Algorithm 1 line 42)."""
+    def gpu_complete(self, col: int, row: int,
+                     error: Optional[TaskError] = None) -> None:
+        """Last executor warp frees the entry (Algorithm 1 line 42).
+
+        With ``error`` the task *failed*: the slot is still freed (the
+        protocol words must not wedge the column), but the failure is
+        recorded for the next copy-back, the slot's lethal-failure
+        streak advances, and a streak past ``quarantine_threshold``
+        retires the slot from the free list for good.
+        """
         entry = self.gpu[col][row]
         entry.ready = READY_FREE
         entry.sched = 0
+        # drop the execution bookkeeping: a brown-out sweeping the
+        # column later must not mistake a reused slot's stale ExecState
+        # for a resident task
+        entry.exec_state = None
+        if error is not None:
+            error.column, error.row = col, row
+            entry.error = error
+            self.record_slot_failure(col, row)
+        else:
+            entry.error = None
+            self._slot_failures.pop((col, row), None)
+        self.gpu_finished.add(entry.task_id)
         self._completed_unreported.append((col, row))
         self.gpu_done_signal.pulse((col, row))
+
+    def record_slot_failure(self, col: int, row: int) -> None:
+        """Advance a slot's lethal-failure streak; quarantine on the
+        configured threshold."""
+        key = (col, row)
+        count = self._slot_failures.get(key, 0) + 1
+        self._slot_failures[key] = count
+        threshold = self.quarantine_threshold
+        if (threshold is not None and count >= threshold
+                and key not in self.quarantined):
+            self.quarantined.add(key)
+            self.quarantine_events.append(
+                QuarantineEvent(self.engine.now, col, row, count)
+            )
 
     def gpu_finished_count(self) -> int:
         """Tasks whose completion the GPU side has recorded."""

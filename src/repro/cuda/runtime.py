@@ -36,12 +36,15 @@ class CudaRuntime:
     """Simulated CUDA context on one GPU."""
 
     def __init__(self, engine: Engine, gpu: Gpu, bus: PcieBus,
-                 functional: bool = False) -> None:
+                 functional: bool = False, faults=None) -> None:
         self.engine = engine
         self.gpu = gpu
         self.bus = bus
         self.timing = gpu.timing
         self.functional = functional
+        #: optional :class:`repro.faults.FaultInjector`; launches draw
+        #: ``cuda.launch_fail``, streams draw ``cuda.stream_stall``.
+        self.faults = faults
         self.allocator = DeviceAllocator(DEVICE_MEM_BYTES)
         self._inflight_kernels = 0
         self._launch_queue: deque = deque()
@@ -50,14 +53,15 @@ class CudaRuntime:
         self._freed = Signal()
         self.kernels_completed = 0
         self._streams = 0
-        engine.spawn(self._dispatch_loop(), name="gigathread")
+        engine.spawn(self._dispatch_loop(), name="gigathread", daemon=True)
 
     # -- host API ----------------------------------------------------------
 
     def create_stream(self, name: str = "") -> Stream:
         """Create a new in-order CUDA stream."""
         self._streams += 1
-        return Stream(self.engine, name or f"s{self._streams}")
+        return Stream(self.engine, name or f"s{self._streams}",
+                      faults=self.faults)
 
     def host_launch(self, task: TaskSpec, stream: Stream,
                     result: Optional[TaskResult] = None) -> Generator:
@@ -69,8 +73,20 @@ class CudaRuntime:
 
     def launch_async(self, task: TaskSpec, stream: Stream,
                      result: Optional[TaskResult] = None) -> Event:
-        """Enqueue a kernel without host-side cost accounting."""
+        """Enqueue a kernel without host-side cost accounting.
+
+        Raises :class:`~repro.core.errors.CudaLaunchError` when the
+        fault plan injects ``cuda.launch_fail`` for this kernel
+        (cudaErrorLaunchFailure at enqueue time, the retryable kind).
+        """
         self._validate_launch(task)
+        if self.faults is not None:
+            if self.faults.draw("cuda.launch_fail", task.name) is not None:
+                from repro.core.errors import CudaLaunchError
+                raise CudaLaunchError(
+                    f"launch of kernel {task.name!r} failed "
+                    "(injected cuda.launch_fail)"
+                )
         return stream.enqueue(lambda: self._kernel_op(task, result))
 
     def _validate_launch(self, task: TaskSpec) -> None:

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the simulated Pagoda stack.
+
+The simulator reproduces the paper's happy path; this package makes it
+a *correctness tool* by exercising the hazards the TaskTable protocol
+and MasterKernel exist to survive — unordered PCIe delivery, stale
+mapped-memory reads, wedged warps, browned-out SMMs, dying GPUs — from
+seeded, replayable :class:`~repro.faults.plan.FaultPlan` schedules.
+
+- :mod:`repro.faults.spec` — the fault vocabulary (:class:`FaultSpec`).
+- :mod:`repro.faults.plan` — seeded schedules (:class:`FaultPlan`).
+- :mod:`repro.faults.injector` — the hook-point hub
+  (:class:`FaultInjector`).
+
+Attach a plan via ``PagodaConfig(fault_plan=...)``; the chaos harness
+in ``tests/chaos/`` sweeps seeds and asserts the
+:mod:`repro.core.validation` conservation laws after every run.
+"""
+
+from repro.faults.injector import TIME_TRIGGERED_KINDS, FaultInjector
+from repro.faults.plan import DEFAULT_SWEEP_KINDS, HANG_KINDS, FaultPlan
+from repro.faults.spec import (
+    ALL_FAULT_KINDS,
+    CUDA_FAULTS,
+    FAULT_KINDS,
+    GPU_FAULTS,
+    PCIE_FAULTS,
+    TASK_FAULTS,
+    FaultSpec,
+    InjectedFault,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "FAULT_KINDS",
+    "ALL_FAULT_KINDS",
+    "PCIE_FAULTS",
+    "GPU_FAULTS",
+    "CUDA_FAULTS",
+    "TASK_FAULTS",
+    "HANG_KINDS",
+    "DEFAULT_SWEEP_KINDS",
+    "TIME_TRIGGERED_KINDS",
+]

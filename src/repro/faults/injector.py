@@ -1,0 +1,113 @@
+"""The fault injector: where a plan meets the simulated hardware.
+
+Layers carry *hook points* — a line or two guarded by
+``if self.faults is not None`` — and every hook funnels through
+:meth:`FaultInjector.draw`:
+
+======================  ====================================================
+hook site               kinds drawn
+======================  ====================================================
+``PcieBus.transfer``    ``pcie.drop`` / ``pcie.dup`` / ``pcie.delay``
+TaskTable entry post    ``pcie.reorder``
+TaskTable copy-back     ``pcie.stale_read``
+MTB executor warp       ``gpu.slow_warp`` / ``gpu.stuck_warp`` /
+                        ``task.raise`` / ``task.poison`` / ``task.no_yield``
+``CudaRuntime`` launch  ``cuda.launch_fail``
+``Stream`` driver       ``cuda.stream_stall``
+======================  ====================================================
+
+``gpu.brownout`` and ``gpu.die`` are *time-triggered*: the session
+wiring schedules them as engine callbacks at their ``at_ns`` (see
+:meth:`FaultInjector.time_triggered`), because no per-operation hook
+naturally observes "an SMM browned out".
+
+Determinism: ``draw`` consults only the precomputed plan and the
+simulated clock — no RNG at decision time — so identical runs inject
+identical faults, and an injector carrying a zero-fault plan makes no
+engine calls at all (schedule-identity with the uninstrumented run).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.faults.spec import FaultSpec, InjectedFault
+
+#: Kinds fired by engine callbacks at ``at_ns`` rather than hook draws.
+TIME_TRIGGERED_KINDS = frozenset({"gpu.brownout", "gpu.die"})
+
+
+class FaultInjector:
+    """Deterministic dispenser of one :class:`FaultPlan`'s faults."""
+
+    def __init__(self, engine, plan: Optional[FaultPlan] = None) -> None:
+        self.engine = engine
+        self.plan = plan or FaultPlan.zero()
+        #: kind -> [spec, remaining] queues, in plan (time) order.
+        self._armed: Dict[str, List[List]] = {}
+        for spec in self.plan:
+            if spec.kind in TIME_TRIGGERED_KINDS:
+                continue
+            self._armed.setdefault(spec.kind, []).append([spec, spec.count])
+        #: every fault that actually fired, in firing order.
+        self.injected: List[InjectedFault] = []
+
+    # -- hook-point API ------------------------------------------------------
+
+    def draw(self, kind: str, site: Any = None) -> Optional[FaultSpec]:
+        """Consume one armed fault of ``kind`` applicable at ``site``.
+
+        Returns the spec (the hook reads ``magnitude_ns`` etc.) or
+        ``None`` — the overwhelmingly common case, which costs one
+        dict probe on a zero-fault plan.
+        """
+        queue = self._armed.get(kind)
+        if not queue:
+            return None
+        now = self.engine.now
+        for record in queue:
+            spec, remaining = record
+            if spec.at_ns > now:
+                break  # queue is time-ordered; nothing later is armed
+            if remaining <= 0 or not spec.matches_site(site):
+                continue
+            record[1] = remaining - 1
+            self.injected.append(InjectedFault(now, kind, site, spec))
+            if record[1] <= 0:
+                queue.remove(record)
+                if not queue:
+                    del self._armed[kind]
+            return spec
+        return None
+
+    def record_fired(self, spec: FaultSpec, site: Any = None) -> None:
+        """Log a time-triggered fault at its firing moment."""
+        self.injected.append(
+            InjectedFault(self.engine.now, spec.kind, site, spec)
+        )
+
+    # -- time-triggered faults ----------------------------------------------
+
+    def time_triggered(self, kind: Optional[str] = None) -> List[FaultSpec]:
+        """The plan's engine-callback faults (optionally one kind)."""
+        return [
+            spec for spec in self.plan
+            if spec.kind in TIME_TRIGGERED_KINDS
+            and (kind is None or spec.kind == kind)
+        ]
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def injected_count(self) -> int:
+        """Faults fired so far (hook draws + time-triggered)."""
+        return len(self.injected)
+
+    def pending_count(self) -> int:
+        """Armed-or-future hook faults not yet consumed."""
+        return sum(rec[1] for queue in self._armed.values() for rec in queue)
+
+    def fingerprint(self) -> tuple:
+        """Replay-comparable summary of what fired (time, kind, site)."""
+        return tuple((f.when_ns, f.kind, f.site) for f in self.injected)

@@ -1,0 +1,112 @@
+"""Seeded fault schedules.
+
+A :class:`FaultPlan` is an ordered list of
+:class:`~repro.faults.spec.FaultSpec` drawn *up front* from one seeded
+RNG — the plan is fixed before the simulation starts, so a chaos run
+is a pure function of ``(workload, plan)`` and any failure replays
+from its seed alone (the property gem5's deterministic-perturbation
+work builds its methodology on).
+
+``FaultPlan.generate(seed, ...)`` is the chaos harness's entry point;
+``FaultPlan.zero()`` is the control arm: an injector carrying a
+zero-fault plan must leave the simulated schedule bit-identical to a
+run with no injector at all (asserted by ``tests/chaos``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.spec import FAULT_KINDS, FaultSpec
+
+#: Kinds that require a watchdog to reclaim the task (the warp wedges).
+HANG_KINDS = ("gpu.stuck_warp", "task.no_yield")
+
+#: Kinds the default single-GPU chaos sweep draws from.  ``gpu.die``
+#: is excluded (it only makes sense on a multi-GPU node) and must be
+#: requested explicitly.
+DEFAULT_SWEEP_KINDS: Tuple[str, ...] = (
+    FAULT_KINDS["pcie"] + tuple(k for k in FAULT_KINDS["gpu"]
+                                if k != "gpu.die")
+    + FAULT_KINDS["cuda"] + FAULT_KINDS["task"]
+)
+
+
+@dataclass
+class FaultPlan:
+    """An immutable-by-convention, seed-replayable fault schedule."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the control plan (no perturbation at all)."""
+        return not self.specs
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of fault kinds in the plan (for reporting)."""
+        out: Dict[str, int] = {}
+        for spec in self.specs:
+            out[spec.kind] = out.get(spec.kind, 0) + 1
+        return out
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "FaultPlan":
+        """The control arm: no faults."""
+        return cls(specs=[], seed=None)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_faults: int = 8,
+        horizon_ns: float = 1_000_000.0,
+        kinds: Sequence[str] = DEFAULT_SWEEP_KINDS,
+        columns: int = 0,
+        gpus: int = 0,
+        magnitude_ns: Tuple[float, float] = (500.0, 50_000.0),
+    ) -> "FaultPlan":
+        """Draw ``n_faults`` specs from ``random.Random(seed)``.
+
+        ``horizon_ns`` bounds arming times (faults should land while
+        the workload is still in flight); ``columns``/``gpus`` > 0
+        let targeted kinds (brown-outs, device death) pick a victim.
+        The draw order is fixed — kind, time, magnitude, target — so a
+        plan is stable across Python versions for a given seed.
+        """
+        if n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        rng = random.Random(seed)
+        specs: List[FaultSpec] = []
+        kinds = tuple(kinds)
+        for _ in range(n_faults):
+            kind = rng.choice(kinds)
+            at_ns = round(rng.uniform(0.0, horizon_ns), 3)
+            magnitude = round(rng.uniform(*magnitude_ns), 3)
+            target = None
+            if kind == "gpu.brownout" and columns > 0:
+                target = rng.randrange(columns)
+            elif kind == "gpu.die" and gpus > 0:
+                target = rng.randrange(gpus)
+            specs.append(FaultSpec(
+                kind=kind, at_ns=at_ns, magnitude_ns=magnitude,
+                target=target,
+            ))
+        # arming order == time order; ties keep draw order (stable sort)
+        specs.sort(key=lambda s: s.at_ns)
+        return cls(specs=specs, seed=seed)
+
+    def needs_watchdog(self) -> bool:
+        """Whether the plan can wedge a warp (watchdog required)."""
+        return any(spec.kind in HANG_KINDS for spec in self.specs)

@@ -38,12 +38,15 @@ class PcieBus:
     """Full-duplex PCIe link with one DMA engine per direction."""
 
     def __init__(self, engine: Engine, timing: TimingModel,
-                 coalesce: bool = False) -> None:
+                 coalesce: bool = False, faults=None) -> None:
         self.engine = engine
         self.timing = timing
         #: merge back-to-back same-direction transactions (off by
         #: default: the paper's model charges setup per transaction).
         self.coalesce = coalesce
+        #: optional :class:`repro.faults.FaultInjector`; hook points
+        #: below draw ``pcie.drop`` / ``pcie.dup`` / ``pcie.delay``.
+        self.faults = faults
         self._engines = {
             Direction.H2D: FifoResource(engine, 1, "pcie.h2d"),
             Direction.D2H: FifoResource(engine, 1, "pcie.d2h"),
@@ -53,6 +56,10 @@ class PcieBus:
         self.transactions = {Direction.H2D: 0, Direction.D2H: 0}
         #: transactions that rode an already-open stream (coalesce on).
         self.coalesced = {Direction.H2D: 0, Direction.D2H: 0}
+        #: injected-fault tallies (always present; non-zero only when a
+        #: fault injector is attached).
+        self.dropped = {Direction.H2D: 0, Direction.D2H: 0}
+        self.duplicated = {Direction.H2D: 0, Direction.D2H: 0}
         # when each direction's DMA engine last went idle; a transfer
         # starting exactly then was queued behind its predecessor,
         # which is the "back-to-back same stream" condition
@@ -85,6 +92,24 @@ class PcieBus:
             self.coalesced[direction] += 1
         else:
             duration += self.timing.pcie_transaction_ns
+        faults = self.faults
+        if faults is not None:
+            site = direction.value
+            delay = faults.draw("pcie.delay", site)
+            if delay is not None:
+                # congestion / link retraining: the payload is intact
+                # but arrives late
+                duration += delay.magnitude_ns
+            while faults.draw("pcie.drop", site) is not None:
+                # the transaction is lost and replayed: pay the full
+                # service time again (a replayed TLP after CRC error)
+                self.dropped[direction] += 1
+                yield duration
+            if faults.draw("pcie.dup", site) is not None:
+                # delivered twice: the second copy is harmless but
+                # occupies the engine for another service time
+                self.duplicated[direction] += 1
+                duration *= 2.0
         yield duration
         self._last_end[direction] = self.engine.now
         dma.release()

@@ -20,12 +20,13 @@ Public surface:
 - :class:`~repro.sim.trace.Recorder` — time-series metric collection.
 """
 
-from repro.sim.engine import Engine, Process, Delay
+from repro.sim.engine import DeadlockError, Engine, Process, Delay
 from repro.sim.events import Event, Signal, all_of, any_of
 from repro.sim.resources import FifoResource, ProcessorSharing, Store
 from repro.sim.trace import Recorder, TimeWeighted
 
 __all__ = [
+    "DeadlockError",
     "Engine",
     "Process",
     "Delay",

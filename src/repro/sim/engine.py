@@ -53,6 +53,30 @@ _FN = 0      # payload is a zero-argument callable
 _RESUME = 1  # payload is a Process; resume it with ``value``
 
 
+class DeadlockError(RuntimeError):
+    """The event queue drained while non-daemon processes were still
+    blocked — nothing can ever wake them.
+
+    The message names each blocked process and the event/process it
+    waits on, so a wedged run points at its culprit instead of
+    returning silently with work undone.  Daemon processes (scheduler
+    warps, dispatch loops) are expected to outlive the queue and are
+    exempt.
+    """
+
+    def __init__(self, blocked: list) -> None:
+        self.blocked = list(blocked)
+        lines = [
+            f"  {proc.name!r} waiting on {proc.waiting_on!r}"
+            for proc in self.blocked
+        ]
+        super().__init__(
+            "event queue drained with "
+            f"{len(self.blocked)} process(es) still blocked:\n"
+            + "\n".join(lines)
+        )
+
+
 class Delay:
     """Explicit wrapper for a pure time delay command.
 
@@ -80,9 +104,11 @@ class Process:
     can join by yielding the process object.
     """
 
-    __slots__ = ("engine", "gen", "name", "alive", "result", "_done", "_waiters")
+    __slots__ = ("engine", "gen", "name", "alive", "result", "_done",
+                 "_waiters", "daemon", "waiting_on")
 
-    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "",
+                 daemon: bool = False) -> None:
         self.engine = engine
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -90,11 +116,19 @@ class Process:
         self.result: Any = None
         self._waiters: list = []
         self._done = False
+        #: daemon processes (scheduler warps, dispatch loops) may still
+        #: be blocked when the queue drains without it being a deadlock.
+        self.daemon = daemon
+        #: the Event/Process this process last blocked on (diagnostic;
+        #: meaningful only while blocked — timer waits never deadlock
+        #: because their resume record keeps the queue non-empty).
+        self.waiting_on: Any = None
 
     def _finish(self, result: Any) -> None:
         self.alive = False
         self._done = True
         self.result = result
+        self.engine._live.discard(self)
         waiters, self._waiters = self._waiters, []
         for wake in waiters:
             wake(result)
@@ -121,6 +155,7 @@ class Process:
         self.alive = False
         self._done = True
         self.engine._nlive -= 1
+        self.engine._live.discard(self)
         self.gen.close()
         waiters, self._waiters = self._waiters, []
         for wake in waiters:
@@ -175,6 +210,8 @@ class Engine:
         self._ready: deque = deque()  # ring of (seq, kind, payload, value)
         self._seq = 0
         self._nlive = 0
+        #: every live process (for the deadlock reporter).
+        self._live: set = set()
         self.event_count = 0
 
     # -- low-level scheduling -------------------------------------------------
@@ -192,10 +229,17 @@ class Engine:
 
     # -- processes ------------------------------------------------------------
 
-    def spawn(self, gen: Generator, name: str = "") -> Process:
-        """Start a generator as a process on the next engine step."""
-        proc = Process(self, gen, name)
+    def spawn(self, gen: Generator, name: str = "",
+              daemon: bool = False) -> Process:
+        """Start a generator as a process on the next engine step.
+
+        ``daemon`` marks forever-loops (scheduler warps, dispatchers)
+        that are *expected* to still be blocked when the queue drains;
+        the deadlock reporter ignores them.
+        """
+        proc = Process(self, gen, name, daemon)
         self._nlive += 1
+        self._live.add(proc)
         self._seq += 1
         self._ready.append((self._seq, _RESUME, proc, None))
         return proc
@@ -214,6 +258,7 @@ class Engine:
                 self._seq += 1
                 self._ready.append((self._seq, _RESUME, proc, command.value))
             else:
+                proc.waiting_on = command
                 command._add_waiter(proc)
         elif isinstance(command, (int, float)):
             # int, bool, and float subclasses (e.g. numpy.float64)
@@ -235,6 +280,7 @@ class Engine:
                 self._seq += 1
                 self._ready.append((self._seq, _RESUME, proc, command.result))
             else:
+                proc.waiting_on = command
                 command._on_done(proc)
         else:
             raise TypeError(
@@ -243,16 +289,48 @@ class Engine:
 
     # -- run loop -------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None,
+            raise_on_deadlock: bool = False) -> float:
         """Drain the event queue.
 
         Stops when the queue is empty, when the clock would pass
         ``until``, or after ``max_events`` callbacks (a runaway guard for
         tests).  Returns the final clock value.
+
+        With ``raise_on_deadlock``, a drained queue that leaves
+        non-daemon processes blocked raises :class:`DeadlockError`
+        naming each of them and what it waits on, instead of returning
+        silently with work undone (bound runs only check when the queue
+        truly drained, not when a bound stopped them early).
         """
         if until is None and max_events is None:
-            return self._run_unguarded()
-        return self._run_guarded(until, max_events)
+            end = self._run_unguarded()
+        else:
+            end = self._run_guarded(until, max_events)
+        if raise_on_deadlock and not self._queue and not self._ready:
+            self.check_deadlock()
+        return end
+
+    def blocked_processes(self) -> list:
+        """Live non-daemon processes with no scheduled resume.
+
+        Only meaningful when the queue is empty: any live process then
+        necessarily blocks on an event or join that can never fire.
+        """
+        return sorted(
+            (p for p in self._live if not p.daemon and p.alive),
+            key=lambda p: p.name,
+        )
+
+    def check_deadlock(self) -> None:
+        """Raise :class:`DeadlockError` if the drained queue stranded
+        non-daemon processes (no-op while work is still scheduled)."""
+        if self._queue or self._ready:
+            return
+        blocked = self.blocked_processes()
+        if blocked:
+            raise DeadlockError(blocked)
 
     def _run_unguarded(self) -> float:
         """Tight loop for the common ``run()`` call: no bound checks.

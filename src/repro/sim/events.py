@@ -48,6 +48,12 @@ class Event:
             for wake in waiters:
                 wake(value)
 
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic aid
+        if self.fired:
+            return f"<Event fired value={self.value!r}>"
+        n = len(self._waiters) if self._waiters else 0
+        return f"<Event pending waiters={n} at {id(self):#x}>"
+
 
 def any_of(events) -> Event:
     """One-shot event firing when the *first* of ``events`` fires.

@@ -115,6 +115,8 @@ class TaskResult:
     sched_time: float = 0.0  # when a runtime picked it for execution
     start_time: float = 0.0  # first warp began executing
     end_time: float = 0.0  # last warp finished
+    #: ``file:line`` of the taskSpawn call (diagnostics for TaskError)
+    spawn_site: str = ""
 
     @property
     def latency(self) -> float:

@@ -1,0 +1,128 @@
+"""The chaos sweep: 50 seeded fault plans against a small stack.
+
+Each seed generates a :class:`~repro.faults.plan.FaultPlan` (PCIe
+drops/dups/delays/reorders/stale reads, slow/stuck warps, brown-outs,
+launch failures, stream stalls, kernel raises/poison/no-yield) and
+plays a hostile workload through a full Pagoda session.  Whatever the
+plan does, the run must end with:
+
+- the driver *finished* — ``wait_all`` returned or raised, never hung;
+- the conservation invariants of :mod:`repro.core.validation` intact;
+- exact task accounting: every spawned task is either executed or
+  failed with a structured :class:`~repro.core.errors.TaskError`, and
+  the two tallies sum to the spawn count;
+- a quiescent stack: no leaked warps, shared memory, or barrier IDs.
+
+A failing seed replays exactly: the plan is a pure function of the
+seed and the workload is seeded too.
+"""
+
+import pytest
+
+from repro.core import PagodaConfig, PagodaSession
+from repro.core.errors import CudaLaunchError, TaskError, TaskErrorGroup
+from repro.core.validation import check_quiescent, check_session
+from repro.faults import FaultPlan
+from repro.tasks import TaskResult
+
+from tests.chaos.harness import CHAOS_COLUMNS, chaos_spec, chaos_tasks
+
+#: Fault arming horizon: the workload spawns within ~15us and drains
+#: within ~200us of simulated time, so this lands faults in flight.
+HORIZON_NS = 120_000.0
+
+#: Generous task deadline — far beyond any healthy task's runtime, so
+#: the watchdog only ever reclaims genuinely wedged warps.
+WATCHDOG_NS = 400_000.0
+
+#: Simulated-time bound on the whole run; a hung wait()/waitAll() hits
+#: this instead of spinning the test forever, and the driver-finished
+#: assertion below turns it into a failure that names the seed.
+HARD_DEADLINE_NS = 5.0e7
+
+
+def run_chaos_session(seed: int, n_faults: int = 8):
+    """Run one seeded chaos scenario; returns (session, outcome)."""
+    plan = FaultPlan.generate(
+        seed, n_faults=n_faults, horizon_ns=HORIZON_NS,
+        columns=CHAOS_COLUMNS, magnitude_ns=(500.0, 30_000.0),
+    )
+    session = PagodaSession(spec=chaos_spec(), config=PagodaConfig(
+        copy_inputs=False, copy_outputs=False,
+        fault_plan=plan, watchdog_deadline_ns=WATCHDOG_NS,
+    ))
+    tasks = chaos_tasks(seed)
+    eng, host = session.engine, session.host
+    outcome = {"spawn_failures": 0, "wait_error": None, "done": False}
+
+    def driver():
+        for i, task in enumerate(tasks):
+            try:
+                yield from host.task_spawn(task, TaskResult(i, task.name))
+            except CudaLaunchError:
+                # an injected cudaErrorLaunchFailure surfaced as a
+                # structured error at the spawn site — count and go on
+                outcome["spawn_failures"] += 1
+        try:
+            yield from host.wait_all()
+        except (TaskError, TaskErrorGroup) as exc:
+            outcome["wait_error"] = exc
+        outcome["done"] = True
+
+    eng.spawn(driver(), name="chaos-driver")
+    eng.run(until=HARD_DEADLINE_NS)
+    return session, outcome, tasks
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_seeded_fault_sweep(seed):
+    session, outcome, tasks = run_chaos_session(seed)
+    host, table, master = session.host, session.table, session.master
+    try:
+        # 1. no hung wait: the driver ran to completion inside the bound
+        assert outcome["done"], (
+            f"seed {seed}: driver hung — wait()/waitAll() never returned"
+        )
+        # 2. conservation invariants survived the whole plan
+        check_session(session, deep=True)
+        # 3. exact accounting: spawned == executed + failed, all observed
+        spawned = host.spawn_count
+        executed = master.tasks_executed()
+        failed = master.tasks_failed()
+        assert spawned + outcome["spawn_failures"] == len(tasks)
+        assert executed + failed == spawned, (
+            f"seed {seed}: {executed} executed + {failed} failed "
+            f"!= {spawned} spawned"
+        )
+        assert len(table.finished) == spawned
+        # 4. failures surfaced as structured TaskErrors, never silently
+        errors = host.task_errors()
+        assert len(errors) == failed
+        if failed:
+            assert outcome["wait_error"] is not None, (
+                f"seed {seed}: {failed} task(s) failed but wait_all "
+                "raised nothing"
+            )
+        for err in errors:
+            assert err.task_id in table.finished
+            assert err.reason
+            assert err.spawn_site, "TaskError lost its spawn site"
+        # 5. everything went back to the free state (no leaked warps,
+        # shared memory, or barrier IDs — even through kills)
+        check_quiescent(session, deep=True)
+    finally:
+        session.shutdown()
+
+
+def test_sweep_covers_every_fault_layer():
+    """Sanity on the sweep itself: across the 50 plans, every fault
+    layer's hooks actually get exercised (a sweep that never draws a
+    GPU fault proves nothing about the kill path)."""
+    layers = set()
+    for seed in range(50):
+        plan = FaultPlan.generate(
+            seed, n_faults=8, horizon_ns=HORIZON_NS,
+            columns=CHAOS_COLUMNS,
+        )
+        layers.update(spec.layer for spec in plan)
+    assert layers >= {"pcie", "gpu", "cuda", "task"}

@@ -1,0 +1,153 @@
+"""Property test: named-barrier ID churn under concurrent waiters.
+
+§5.2 gives Pagoda exactly 16 PTX named barriers to recycle across an
+unbounded stream of synchronizing threadblocks.  The property that
+keeps recycling safe: **an ID is never handed to a new block while a
+live waiter could still observe it** — a clean ``release`` refuses
+while warps are parked, and the kill path's ``force_release`` discards
+the pending generation (the killed block's waiters are interrupted),
+binding any future acquisition of that ID to a *fresh* WarpBarrier that
+old waiters never saw.
+
+The stateful machine churns acquire/arrive/release/force_release far
+past the 16-ID pool and checks the conservation laws after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import pytest
+
+from repro.core import NamedBarrierPool, PTX_NAMED_BARRIERS
+
+
+class BarrierChurn(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pool = NamedBarrierPool()
+        #: bar_id -> its currently-bound WarpBarrier ("live block")
+        self.live = {}
+        #: barriers discarded by force_release whose waiters were never
+        #: drained — a recycled ID must never resurrect one of these
+        self.orphans = []
+        self.acquired_total = 0
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(parties=st.integers(min_value=2, max_value=8))
+    def acquire(self, parties):
+        was_full = self.pool.available == 0
+        bar_id = self.pool.acquire(parties)
+        if was_full:
+            assert bar_id is None, "pool handed out a 17th ID"
+            return
+        assert bar_id is not None and 0 <= bar_id < PTX_NAMED_BARRIERS
+        assert bar_id not in self.live, "ID recycled while its block lives"
+        bar = self.pool.barrier(bar_id)
+        # the recycled ID starts a fresh generation: zero waiters, and
+        # never the barrier object an interrupted waiter still holds
+        assert bar.waiting == 0
+        assert all(bar is not orphan for orphan in self.orphans)
+        self.live[bar_id] = bar
+        self.acquired_total += 1
+
+    def _ids(self, want):
+        return sorted(i for i, b in self.live.items() if want(b))
+
+    @precondition(lambda self: self._ids(lambda b: b.waiting + 1 < b.parties))
+    @rule(data=st.data())
+    def warp_arrives(self, data):
+        """One warp parks at a live barrier (never the last arrival —
+        a completed generation frees the waiters by itself)."""
+        bar_id = data.draw(st.sampled_from(
+            self._ids(lambda b: b.waiting + 1 < b.parties)))
+        self.pool.barrier(bar_id).arrive()
+
+    @precondition(lambda self: self._ids(lambda b: b.waiting == 0))
+    @rule(data=st.data())
+    def block_finishes(self, data):
+        """A block retires cleanly; its ID is recycled."""
+        bar_id = data.draw(st.sampled_from(
+            self._ids(lambda b: b.waiting == 0)))
+        self.pool.release(bar_id)
+        del self.live[bar_id]
+
+    @precondition(lambda self: self._ids(lambda b: b.waiting > 0))
+    @rule(data=st.data())
+    def release_with_waiters_is_refused(self, data):
+        """Clean release must refuse while warps are parked — the ID
+        stays bound, nothing is recycled."""
+        bar_id = data.draw(st.sampled_from(
+            self._ids(lambda b: b.waiting > 0)))
+        before = self.pool.available
+        with pytest.raises(RuntimeError):
+            self.pool.release(bar_id)
+        assert self.pool.available == before
+        assert self.pool.barrier(bar_id) is self.live[bar_id]
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def block_is_killed(self, data):
+        """The kill path: waiters (if any) are interrupted with their
+        block, so force_release discards the generation and recycles
+        the ID.  Idempotent — watchdog and brown-out may race."""
+        bar_id = data.draw(st.sampled_from(sorted(self.live)))
+        self.orphans.append(self.live.pop(bar_id))
+        before = self.pool.available
+        self.pool.force_release(bar_id)
+        assert self.pool.available == before + 1
+        self.pool.force_release(bar_id)  # second kill: no double-free
+        assert self.pool.available == before + 1
+
+    # -- conservation laws, checked after every step -------------------------
+
+    @invariant()
+    def ids_conserved(self):
+        pool = self.pool
+        assert pool.available + pool.in_use == pool.count
+        free = set(pool._free)
+        bound = set(pool._barriers)
+        assert not (free & bound), "ID simultaneously free and bound"
+        assert free | bound == set(range(pool.count))
+
+    @invariant()
+    def model_agrees(self):
+        assert set(self.pool._barriers) == set(self.live)
+        for bar_id, bar in self.live.items():
+            assert self.pool.barrier(bar_id) is bar
+
+
+TestBarrierChurn = BarrierChurn.TestCase
+TestBarrierChurn.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None
+)
+
+
+def test_churn_far_past_pool_size_recycles_soundly():
+    """Deterministic long churn at full pool pressure: 200 blocks
+    cycle through the 16 IDs, half killed with a waiter parked —
+    every ID is exercised and keeps working."""
+    pool = NamedBarrierPool()
+    live = [pool.acquire(2) for _ in range(PTX_NAMED_BARRIERS)]
+    assert sorted(live) == list(range(PTX_NAMED_BARRIERS))
+    assert pool.acquire(2) is None  # saturated: the PTX hard limit
+    for i in range(200):
+        victim = live.pop(i % len(live))
+        if i % 2:
+            pool.barrier(victim).arrive()  # a warp is parked...
+            pool.force_release(victim)     # ...when the block is killed
+        else:
+            pool.release(victim)
+        replacement = pool.acquire(2 + i % 4)
+        assert replacement is not None
+        assert replacement not in live, "ID handed out twice"
+        assert pool.barrier(replacement).waiting == 0
+        live.append(replacement)
+    for bar_id in live:
+        pool.release(bar_id)
+    assert pool.available == pool.count and pool.in_use == 0

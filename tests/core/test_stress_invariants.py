@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import PagodaConfig, PagodaSession
+from repro.core.errors import TaskError
 from repro.core.validation import (
     InvariantViolation,
     check_quiescent,
@@ -99,7 +100,9 @@ def test_shared_memory_thrash():
 
 
 def test_failing_kernel_surfaces_cleanly():
-    """A kernel that raises mid-phase must propagate, not hang."""
+    """A kernel that raises mid-phase must surface as a TaskError from
+    wait() — carrying the task id, slot, and spawn site — not hang, and
+    not escape into the engine loop as a raw exception."""
     def bad_kernel(task, block_id, warp_id):
         yield Phase(inst=100)
         raise ValueError("injected kernel fault")
@@ -113,8 +116,17 @@ def test_failing_kernel_surfaces_cleanly():
         yield from host.wait_all()
 
     eng.spawn(driver())
-    with pytest.raises(ValueError, match="injected kernel fault"):
+    with pytest.raises(TaskError, match="injected kernel fault") as exc_info:
         eng.run()
+    err = exc_info.value
+    assert err.name == "bad"
+    assert "test_stress_invariants" in err.spawn_site
+    assert (err.column, err.row) == (0, 0)
+    # the failed task completed (with an error) — nothing still thinks
+    # it is running, and the entry went back through gpu_complete
+    assert err.task_id in session.table.finished
+    assert session.master.tasks_failed() == 1
+    check_quiescent(session)
     session.shutdown()
 
 

@@ -1,0 +1,100 @@
+"""The engine's deadlock reporter (``run(raise_on_deadlock=True)``).
+
+A drained event queue with live non-daemon processes means those
+processes can never wake; the engine must *name* them and what they
+wait on instead of returning silently with work undone.
+"""
+
+import pytest
+
+from repro.sim import Engine, Event
+from repro.sim.engine import DeadlockError
+
+
+def test_deadlock_error_names_blocked_processes():
+    eng = Engine()
+    gate = Event()  # never fired
+
+    def waiter():
+        yield gate
+
+    eng.spawn(waiter(), name="stranded-waiter")
+    with pytest.raises(DeadlockError) as exc_info:
+        eng.run(raise_on_deadlock=True)
+    err = exc_info.value
+    assert len(err.blocked) == 1
+    assert err.blocked[0].name == "stranded-waiter"
+    # the message is the diagnostic: it must name the culprit and what
+    # it is blocked on
+    assert "stranded-waiter" in str(err)
+    assert "waiting on" in str(err)
+
+
+def test_deadlock_reports_every_stranded_process():
+    eng = Engine()
+    a_done = Event()
+    b_done = Event()
+
+    def proc_a():
+        yield b_done  # waits for b, which waits for a: classic cycle
+
+    def proc_b():
+        yield a_done
+
+    eng.spawn(proc_a(), name="proc-a")
+    eng.spawn(proc_b(), name="proc-b")
+    with pytest.raises(DeadlockError) as exc_info:
+        eng.run(raise_on_deadlock=True)
+    names = [p.name for p in exc_info.value.blocked]
+    assert names == ["proc-a", "proc-b"]  # sorted, deterministic
+
+
+def test_daemons_are_exempt_from_deadlock_reporting():
+    """Scheduler warps and dispatch loops are *supposed* to outlive the
+    queue — a parked daemon is not a deadlock."""
+    eng = Engine()
+
+    def daemon_loop():
+        while True:
+            yield Event()
+
+    def worker():
+        yield 5.0
+
+    eng.spawn(daemon_loop(), name="scheduler", daemon=True)
+    eng.spawn(worker(), name="worker")
+    # must not raise: the only live process at drain is a daemon
+    eng.run(raise_on_deadlock=True)
+    assert eng.now == 5.0
+
+
+def test_default_run_does_not_raise():
+    """Without opting in, a drained queue returns as before (callers
+    like bounded ``run(until=...)`` polls rely on this)."""
+    eng = Engine()
+
+    def waiter():
+        yield Event()
+
+    eng.spawn(waiter(), name="stranded")
+    end = eng.run()  # silent, as the seed engine behaved
+    assert end == 0.0
+    assert [p.name for p in eng.blocked_processes()] == ["stranded"]
+
+
+def test_deadlock_check_is_noop_while_work_remains():
+    eng = Engine()
+    gate = Event()
+
+    def waiter():
+        yield gate
+
+    def rescuer():
+        yield 3.0
+        gate.fire(None)
+
+    eng.spawn(waiter(), name="waiter")
+    eng.spawn(rescuer(), name="rescuer")
+    # a rescue is scheduled: no deadlock, run completes normally
+    eng.run(raise_on_deadlock=True)
+    assert eng.now == 3.0
