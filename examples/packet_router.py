@@ -1,14 +1,16 @@
 #!/usr/bin/env python
-"""Latency-sensitive packet encryption: a 3DES router on Pagoda.
+"""Latency-sensitive packet encryption: a 3DES router on repro.serve.
 
 The paper's motivating scenario (§1, Table 4): network packets arrive
 continuously and each becomes a narrow encryption task that needs
 *immediate* processing — the batch-based alternative delays every
 packet until its batch drains (Fig. 10's latency gap).
 
-This example streams NetBench-sized packets through three schemes and
-compares per-packet latency, then round-trips one packet through the
-real DES cipher to show the functional path.
+The router is pure serving configuration: one tenant of NetBench-sized
+DES3 packets on a Poisson feed, once through plain Pagoda and once
+with the same-kernel batcher, against the static-fusion baseline.
+Then one packet round-trips through the real DES cipher to show the
+functional path.
 
 Run:  python examples/packet_router.py
 """
@@ -16,34 +18,37 @@ Run:  python examples/packet_router.py
 import numpy as np
 
 from repro.baselines import run_static_fusion
-from repro.core import PagodaConfig, run_pagoda
+from repro.serve import (BatchPolicy, PoissonArrivals, ServeConfig,
+                         TenantSpec, serve)
 from repro.workloads import DES3, des3_decrypt, des3_encrypt
 
-ARRIVAL_GAP_NS = 2_000.0  # a packet every 2 us — a busy 10GbE-class feed
+PACKET_RATE_PER_S = 500_000  # a packet every 2 us — a busy 10GbE feed
+N_PACKETS = 512
 
 
-def stream(tasks, name, runner):
-    stats = runner(tasks)
-    lat = np.array([r.latency for r in stats.results]) / 1e3
-    print(f"{name:16s} makespan {stats.makespan / 1e6:7.2f} ms | "
-          f"latency us: mean {lat.mean():8.1f}  p99 "
-          f"{np.percentile(lat, 99):8.1f}")
-    return stats
+def route(label: str, batch: BatchPolicy) -> None:
+    tasks = DES3.make_tasks(N_PACKETS, threads_per_task=128, seed=7)
+    rep = serve([TenantSpec("packets", tasks,
+                            PoissonArrivals(PACKET_RATE_PER_S, seed=7))],
+                ServeConfig(batch=batch, label=label))
+    lat = rep.hist_total.summary_us()
+    print(f"{label:16s} makespan {rep.makespan_ns / 1e6:7.2f} ms | "
+          f"latency us: mean {lat['mean']:8.1f}  p99 {lat['p99']:8.1f}")
 
 
 def main():
-    n_packets = 512
-    tasks = DES3.make_tasks(n_packets, threads_per_task=128, seed=7)
-    print(f"routing {n_packets} packets "
+    tasks = DES3.make_tasks(N_PACKETS, threads_per_task=128, seed=7)
+    print(f"routing {N_PACKETS} packets "
           f"({min(t.input_bytes for t in tasks)}-"
           f"{max(t.input_bytes for t in tasks)} bytes, NetBench mix)\n")
 
-    stream(tasks, "pagoda", lambda t: run_pagoda(
-        t, config=PagodaConfig(spawn_gap_ns=ARRIVAL_GAP_NS)))
-    stream(tasks, "pagoda-batching", lambda t: run_pagoda(
-        t, config=PagodaConfig(spawn_gap_ns=ARRIVAL_GAP_NS,
-                               batch_size=128)))
-    stream(tasks, "static-fusion", run_static_fusion)
+    route("pagoda", BatchPolicy())
+    route("pagoda-batching", BatchPolicy(max_batch=16, max_blocks=64))
+    stats = run_static_fusion(tasks)
+    lat = np.array([r.latency for r in stats.results]) / 1e3
+    print(f"{'static-fusion':16s} makespan {stats.makespan / 1e6:7.2f} ms | "
+          f"latency us: mean {lat.mean():8.1f}  p99 "
+          f"{np.percentile(lat, 99):8.1f}")
 
     print("\nFunctional check: EDE round-trip through the full FIPS "
           "46-3 cipher")

@@ -1,88 +1,67 @@
 #!/usr/bin/env python
 """Online sensor processing with deadlines — the paper's §1 scenario,
-plus the priority extension.
+served through :mod:`repro.serve`.
 
-"Online sensors can generate many tasks in quick succession and
-require immediate processing."  Here a beamforming array streams
-signal-processing tasks open-loop at a fixed rate while a bulk
-Mandelbrot analytics job floods the same GPU.  We compare:
+A beamforming array streams signal-processing tasks open-loop at a
+fixed rate while a bulk Mandelbrot analytics job floods the same GPU.
+The whole experiment is serving configuration: two tenants, an SLO
+class on the sensor feed, and a fair-queueing admission policy that
+keeps the flood from starving it.  We compare:
 
-1. CUDA-HyperQ              (per-kernel launching)
-2. Pagoda, FIFO             (the paper's scheduler)
-3. Pagoda + priorities      (deferred scheduling + priority rows)
+1. Pagoda, FIFO             (no SLO, shared FIFO ingress)
+2. Pagoda + priority        (deadline SLO -> priority rows + fair queue)
 
 and report the sensor tasks' deadline hit rate and tail latency.
 
 Run:  python examples/sensor_stream.py
 """
 
-import dataclasses
-
-import numpy as np
-
-from repro.baselines import HyperQConfig, run_hyperq
-from repro.core import PagodaConfig, run_pagoda
+from repro.core import PagodaConfig
+from repro.serve import (DeterministicArrivals, PoissonArrivals, ServeConfig,
+                         SloClass, TenantFairQueue, TenantSpec, serve)
 from repro.workloads import BEAMFORMER, MANDELBROT
 
-SENSOR_GAP_NS = 4_000.0  # a sensor task every 4 us (250K/s feed)
+SENSOR_RATE_PER_S = 250_000  # the 250K/s feed of the original demo
 DEADLINE_US = 150.0
-N_TASKS = 640
-BULK_EVERY = 4  # 1 sensor task per 3 bulk tasks
+N_SENSOR = 160
+N_BULK = 480  # 3 bulk tasks per sensor task
 
 
-def build_mix(prioritized: bool):
-    sensors = BEAMFORMER.make_tasks(N_TASKS, threads_per_task=64, seed=11)
-    bulk = MANDELBROT.make_tasks(N_TASKS, threads_per_task=128, seed=12)
-    tasks = []
-    si = bi = 0
-    for i in range(N_TASKS):
-        if i % BULK_EVERY == 0:
-            task = sensors[si]
-            si += 1
-            if prioritized:
-                task = dataclasses.replace(task, priority=10)
-        else:
-            task = bulk[bi]
-            bi += 1
-        tasks.append(task)
-    return tasks
-
-
-def sensor_stats(stats):
-    lats = np.array([r.latency for r in stats.results
-                     if r.name.startswith("bf")]) / 1e3
-    return {
-        "p50": float(np.percentile(lats, 50)),
-        "p99": float(np.percentile(lats, 99)),
-        "met": 100.0 * float((lats <= DEADLINE_US).mean()),
-    }
+def tenants(prioritized: bool):
+    slo = SloClass("sensor", deadline_ns=DEADLINE_US * 1e3,
+                   priority=10 if prioritized else 0)
+    return [
+        TenantSpec("sensors",
+                   BEAMFORMER.make_tasks(N_SENSOR, threads_per_task=64,
+                                         seed=11),
+                   PoissonArrivals(SENSOR_RATE_PER_S, seed=3), slo=slo),
+        TenantSpec("bulk",
+                   MANDELBROT.make_tasks(N_BULK, threads_per_task=128,
+                                         seed=12),
+                   DeterministicArrivals(1_000.0)),
+    ]
 
 
 def main():
-    print(f"sensor feed: one beamforming task every "
-          f"{SENSOR_GAP_NS / 1e3:.0f} us, deadline {DEADLINE_US:.0f} us, "
-          f"competing with a Mandelbrot flood\n")
+    print(f"sensor feed: beamforming tasks at {SENSOR_RATE_PER_S:,}/s, "
+          f"deadline {DEADLINE_US:.0f} us, competing with a Mandelbrot "
+          f"flood\n")
 
-    rows = []
-    rows.append(("cuda-hyperq", sensor_stats(run_hyperq(
-        build_mix(False),
-        config=HyperQConfig(spawn_gap_ns=SENSOR_GAP_NS, open_loop=True),
-    ))))
-    rows.append(("pagoda (fifo)", sensor_stats(run_pagoda(
-        build_mix(False),
-        config=PagodaConfig(spawn_gap_ns=SENSOR_GAP_NS, open_loop=True),
-    ))))
-    rows.append(("pagoda + priority", sensor_stats(run_pagoda(
-        build_mix(True),
-        config=PagodaConfig(spawn_gap_ns=SENSOR_GAP_NS, open_loop=True,
-                            deferred_scheduling=True),
-    ))))
+    rows = [
+        ("pagoda (fifo)", serve(tenants(False))),
+        ("pagoda + priority", serve(
+            tenants(True),
+            ServeConfig(policy=TenantFairQueue(max_depth=64),
+                        pagoda=PagodaConfig(deferred_scheduling=True),
+                        label="pagoda + priority"))),
+    ]
 
     print(f"{'runtime':20s} {'p50 us':>8s} {'p99 us':>8s} "
           f"{'deadlines met':>14s}")
-    for name, s in rows:
+    for name, rep in rows:
+        s = rep.tenant_stats["sensors"]["hist"].summary_us()
         print(f"{name:20s} {s['p50']:8.1f} {s['p99']:8.1f} "
-              f"{s['met']:13.1f}%")
+              f"{rep.deadline_met_pct('sensors'):13.1f}%")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@
 Runs the hot-path scenarios of ``benchmarks/test_simulator_throughput.py``
 (engine ping-pong, processor-sharing churn, end-to-end Pagoda stack),
 microbenchmarks of the indexed runtime structures (scheduler dirty-row
-wakes, WarpTable dispatch/retire), plus a small Fig. 5 slice, and
+wakes, WarpTable dispatch/retire), the serving frontend end-to-end
+(arrivals through latency accounting), plus a small Fig. 5 slice, and
 writes ``BENCH_simcore.json`` at the repo root so every PR leaves a
 perf data point behind.
 
@@ -203,6 +204,24 @@ def bench_warptable_churn(repeats: int = 5):
     return ops / wall, wall
 
 
+def bench_serve_stack(repeats: int = 3):
+    """End-to-end requests/s through the serving frontend (arrivals ->
+    admission -> spawn -> latency accounting) -> requests/s."""
+    from repro.serve import PoissonArrivals, TenantSpec, serve
+
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=2_000, mem_bytes=256)
+
+    def run():
+        tasks = [TaskSpec(f"t{i}", 128, 1, kernel) for i in range(500)]
+        rep = serve([TenantSpec("bench", tasks,
+                                PoissonArrivals(200_000.0, seed=1))])
+        return rep.completed
+
+    completed, wall = _best_of(run, repeats)
+    return completed / wall, wall
+
+
 def bench_fig5_slice(repeats: int = 1):
     """Small Fig. 5 slice: full multi-runtime sweep wall time."""
     _, wall = _best_of(lambda: fig5.run(num_tasks=FIG5_SLICE_TASKS), repeats)
@@ -216,6 +235,7 @@ def measure() -> dict:
     tasks_per_s, pagoda_wall = bench_pagoda_stack()
     wakes_per_s, wakes_wall = bench_scheduler_wakes()
     warp_ops_per_s, warp_wall = bench_warptable_churn()
+    serve_per_s, serve_wall = bench_serve_stack()
     fig5_wall = bench_fig5_slice()
     metrics = {
         "engine_events_per_s": round(events_per_s, 1),
@@ -223,6 +243,7 @@ def measure() -> dict:
         "pagoda_tasks_per_s": round(tasks_per_s, 1),
         "scheduler_wakes_per_s": round(wakes_per_s, 1),
         "warptable_ops_per_s": round(warp_ops_per_s, 1),
+        "serve_requests_per_s": round(serve_per_s, 1),
     }
     return {
         "metrics": metrics,
@@ -232,6 +253,7 @@ def measure() -> dict:
             "pagoda_stack": round(pagoda_wall, 4),
             "scheduler_wakes": round(wakes_wall, 4),
             "warptable_churn": round(warp_wall, 4),
+            "serve_stack": round(serve_wall, 4),
             f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
         },
         # metrics introduced after the seed commit have no seed number

@@ -23,6 +23,7 @@ from repro.bench import (
     fig9,
     fig10,
     fig11,
+    serve_load,
     tab3,
     tab5,
 )
@@ -34,11 +35,13 @@ EXPERIMENTS = {
     "load": latency_under_load,
     "priorities": priorities,
     "sweeps": config_sweeps,
+    "serve_p99_under_load": serve_load,
 }
 
 #: experiments whose run() takes a num_tasks argument
 TASK_SIZED = {"fig5", "fig7", "fig9", "fig11", "tab3", "tab5",
-              "ablations", "load", "priorities", "sweeps"}
+              "ablations", "load", "priorities", "sweeps",
+              "serve_p99_under_load"}
 
 
 def run_one(name: str, num_tasks: Optional[int]) -> str:

@@ -1,0 +1,117 @@
+"""Serving tail latency under overload — admission control, quantified.
+
+The serving frontend's reason to exist: an open-loop feed does not
+slow down because the GPU is busy, so past saturation an unprotected
+ingress queue grows without bound and p99 grows with it (roughly
+linearly in the run length — there is no steady state).  Admission
+control trades completions for a bounded tail: the token bucket caps
+the *admitted* rate below capacity, drop-tail caps the queue depth.
+
+The experiment first calibrates the stack's capacity with a flood
+(every request arrives nearly at once; sustained completion rate =
+capacity), then drives a Poisson stream at ratios of that capacity
+through three policies and reports p99 / drop% / goodput per cell.
+This is the serving-layer complement of
+:mod:`repro.bench.latency_under_load`, which compares *runtimes*
+below saturation; here the runtime is fixed and the *policies* are
+compared past it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.harness import make_tasks
+from repro.bench.reporting import format_table
+from repro.serve import (
+    DeterministicArrivals,
+    DropTail,
+    PoissonArrivals,
+    ServeConfig,
+    TenantSpec,
+    TokenBucket,
+    serve,
+)
+
+#: offered load as a multiple of calibrated capacity
+DEFAULT_LOAD_RATIOS = [0.5, 1.0, 2.0]
+#: token-bucket admitted-rate target, as a fraction of capacity
+BUCKET_FRACTION = 0.8
+#: drop-tail ingress bound
+QUEUE_DEPTH = 32
+
+
+def calibrate_capacity(tasks) -> float:
+    """Sustained completions/s under a flood — the stack's capacity."""
+    rep = serve([TenantSpec("cal", tasks, DeterministicArrivals(100.0))],
+                ServeConfig(label="calibrate"))
+    return rep.completed * 1e9 / rep.makespan_ns
+
+
+def measure(policy_name: str, tasks, rate_per_s: float,
+            capacity: float) -> Dict[str, float]:
+    """Run one policy cell at one offered rate."""
+    if policy_name == "no-admission":
+        config = ServeConfig(label=policy_name)
+    elif policy_name == "token-bucket":
+        config = ServeConfig(policy=TokenBucket(
+            rate_per_s=BUCKET_FRACTION * capacity, burst=8),
+            label=policy_name)
+    elif policy_name == "drop-tail":
+        config = ServeConfig(policy=DropTail(max_depth=QUEUE_DEPTH),
+                             label=policy_name)
+    else:
+        raise KeyError(policy_name)
+    rep = serve([TenantSpec("load", tasks,
+                            PoissonArrivals(rate_per_s, seed=5))], config)
+    return {
+        "p99_us": rep.p99_us,
+        "drop_pct": rep.drop_pct,
+        "goodput_per_s": rep.throughput_per_s,
+        "max_queue_depth": float(rep.max_queue_depth),
+    }
+
+
+def run(num_tasks: int = 384, workload: str = "3des", seed: int = 0,
+        load_ratios: Optional[List[float]] = None) -> Dict:
+    """p99/drop%/goodput for each admission policy across offered load."""
+    load_ratios = load_ratios or DEFAULT_LOAD_RATIOS
+    tasks = make_tasks(workload, num_tasks, 128, seed)
+    capacity = calibrate_capacity(tasks)
+    policies = ["no-admission", "token-bucket", "drop-tail"]
+    table: Dict[str, Dict[float, Dict[str, float]]] = {
+        p: {} for p in policies
+    }
+    for ratio in load_ratios:
+        for policy in policies:
+            table[policy][ratio] = measure(
+                policy, tasks, ratio * capacity, capacity)
+    return {"workload": workload, "capacity_per_s": capacity,
+            "load_ratios": load_ratios, "results": table}
+
+
+def report(results: Dict) -> str:
+    """Render the experiment's text report."""
+    ratios = results["load_ratios"]
+    sections = [
+        f"calibrated capacity: {results['capacity_per_s']:,.0f} requests/s "
+        f"(flood-sustained completions)"
+    ]
+    for metric, label in (("p99_us", "p99 latency (us)"),
+                          ("drop_pct", "dropped at admission (%)"),
+                          ("goodput_per_s", "completions/s")):
+        rows = []
+        for policy, per_ratio in results["results"].items():
+            rows.append([policy] + [round(per_ratio[r][metric], 1)
+                                    for r in ratios])
+        sections.append(format_table(
+            ["policy"] + [f"{r:.1f}x cap" for r in ratios], rows,
+            title=f"SERVE [{results['workload']}]: {label} vs offered load",
+        ))
+    sections.append(
+        "\nShape check: past 1x capacity the no-admission tail keeps "
+        "growing with run length while the token bucket's p99 stays "
+        "bounded (it sheds load instead) and drop-tail bounds the "
+        "queue depth."
+    )
+    return "\n\n".join(sections)

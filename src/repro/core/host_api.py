@@ -119,6 +119,9 @@ class PagodaHost:
         if self.protocol == "pipelined":
             self._prev_unpromoted = task_id
             yield self.table.post_cost(spec.param_bytes, transactions=1)
+            # the posting store is done: the serve layer's latency
+            # accountant splits queueing from PCIe post at this stamp
+            result.post_time = self.engine.now
             # the landing is one timed callback, not a spawned process
             self.table.post_entry_to_gpu(col, row)
             return task_id
@@ -128,6 +131,7 @@ class PagodaHost:
         else:  # unsafe-single: the §4.2.1 hazard demonstration
             yield self.table.post_cost(spec.param_bytes, transactions=1)
             copy = self.table.copy_entry_unsafe_single(col, row)
+        result.post_time = self.engine.now
         self.engine.spawn(copy, f"spawncopy.{task_id}")
         return task_id
 

@@ -1,0 +1,142 @@
+"""Seeded arrival processes — the serve layer's load generators.
+
+An arrival process is drawn *up front* from one seeded RNG, exactly
+like :class:`repro.faults.FaultPlan`: the whole schedule is fixed
+before the simulation starts, so a serving run is a pure function of
+``(tenants, config)`` and every latency report replays byte-identically
+from its seeds.  ``schedule(n)`` returns the absolute arrival instants
+(ns); ``gaps(n)`` the inter-arrival gaps.  Gaps are rounded to 1/1000
+ns so schedules are stable, printable numbers rather than raw float
+noise.
+
+The generators here model the paper's §1 traffic shapes:
+
+- :class:`DeterministicArrivals` — a metronome feed (the existing
+  ``spawn_gap_ns`` behaviour of the figure experiments);
+- :class:`PoissonArrivals` — memoryless open-loop traffic, the standard
+  model for aggregated independent request sources;
+- :class:`BurstyArrivals` — an on/off source: bursts of back-to-back
+  tasks separated by (optionally jittered) idle periods, the shape that
+  stresses admission control hardest.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+
+def _cumsum(gaps: List[float]) -> List[float]:
+    out: List[float] = []
+    t = 0.0
+    for g in gaps:
+        t = round(t + g, 3)
+        out.append(t)
+    return out
+
+
+class ArrivalProcess:
+    """Base class: a deterministic factory of arrival schedules."""
+
+    def gaps(self, n: int) -> List[float]:
+        """The first ``n`` inter-arrival gaps in ns."""
+        raise NotImplementedError
+
+    def schedule(self, n: int) -> List[float]:
+        """Absolute arrival instants (ns) for ``n`` requests."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return _cumsum(self.gaps(n))
+
+    def describe(self) -> str:
+        """Stable one-line description (goes into the report JSON)."""
+        raise NotImplementedError
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """One request every ``gap_ns`` — a metronome feed."""
+
+    def __init__(self, gap_ns: float) -> None:
+        if gap_ns < 0:
+            raise ValueError("gap_ns must be >= 0")
+        self.gap_ns = float(gap_ns)
+
+    def gaps(self, n: int) -> List[float]:
+        return [self.gap_ns] * n
+
+    def describe(self) -> str:
+        return f"deterministic(gap_ns={self.gap_ns:g})"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate_per_s`` requests per second.
+
+    Gaps are drawn as ``-mean * ln(1 - u)`` from ``random.Random(seed)``
+    directly (not :func:`random.expovariate`) so the schedule depends
+    only on the documented cross-version stability of ``random()``.
+    """
+
+    def __init__(self, rate_per_s: float, seed: int = 0) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        self.rate_per_s = float(rate_per_s)
+        self.seed = seed
+
+    @property
+    def mean_gap_ns(self) -> float:
+        """Mean inter-arrival gap implied by the rate."""
+        return 1e9 / self.rate_per_s
+
+    def gaps(self, n: int) -> List[float]:
+        rng = random.Random(self.seed)
+        mean = self.mean_gap_ns
+        return [round(-mean * math.log(1.0 - rng.random()), 3)
+                for _ in range(n)]
+
+    def describe(self) -> str:
+        return f"poisson(rate_per_s={self.rate_per_s:g}, seed={self.seed})"
+
+
+class BurstyArrivals(ArrivalProcess):
+    """On/off traffic: bursts of ``burst_size`` requests spaced
+    ``gap_in_burst_ns`` apart, bursts separated by ``idle_gap_ns``.
+
+    ``jitter`` > 0 multiplies each idle gap by a seeded uniform draw in
+    ``[1 - jitter, 1 + jitter]`` so consecutive bursts do not beat
+    against periodic service effects.
+    """
+
+    def __init__(self, burst_size: int, gap_in_burst_ns: float,
+                 idle_gap_ns: float, jitter: float = 0.0,
+                 seed: int = 0) -> None:
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if gap_in_burst_ns < 0 or idle_gap_ns < 0:
+            raise ValueError("gaps must be >= 0")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.burst_size = burst_size
+        self.gap_in_burst_ns = float(gap_in_burst_ns)
+        self.idle_gap_ns = float(idle_gap_ns)
+        self.jitter = float(jitter)
+        self.seed = seed
+
+    def gaps(self, n: int) -> List[float]:
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        for i in range(n):
+            if i % self.burst_size == 0:
+                idle = self.idle_gap_ns
+                if self.jitter:
+                    idle *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+                out.append(round(idle, 3))
+            else:
+                out.append(round(self.gap_in_burst_ns, 3))
+        return out
+
+    def describe(self) -> str:
+        return (f"bursty(burst={self.burst_size}, "
+                f"in_burst_ns={self.gap_in_burst_ns:g}, "
+                f"idle_ns={self.idle_gap_ns:g}, jitter={self.jitter:g}, "
+                f"seed={self.seed})")

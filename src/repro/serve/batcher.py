@@ -1,0 +1,102 @@
+"""Same-kernel task coalescing ahead of the TaskTable.
+
+Pagoda's spawn path costs one TaskTable entry and one PCIe posted
+write per task (§4.2.1).  When a backlog of *identical-shape* narrow
+tasks sits at the ingress queue front, posting them one by one wastes
+table entries and host time: the tasks run the same kernel with the
+same per-block geometry, so k of them are indistinguishable from one
+task with k times the blocks.  The batcher fuses such runs into a
+single spawn and fans the completion timestamps back out to every
+member request.
+
+Fusion is *opportunistic*: only consecutive queue-front requests are
+considered (never reordering), and only when the fusion is exact —
+same timing kernel, same geometry, same ``work`` payload, no
+functional kernel.  Anything else would change simulated timing or
+functional outputs, which a serving shim must never do.  ``max_batch=1``
+(the default) disables batching entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.tasks import TaskSpec
+
+
+def fuse_key(spec: TaskSpec) -> Optional[Tuple]:
+    """Coalescing identity of a spec, or ``None`` if unbatchable.
+
+    Two specs may fuse only when running either of them as extra
+    blocks of the other is *exactly* the same simulated work: same
+    kernel callable, same per-block geometry and resources, same
+    ``work`` payload object, and no functional kernel (functional
+    outputs land in per-task arrays that a fused run would conflate).
+    """
+    if spec.func is not None:
+        return None
+    return (
+        spec.kernel, spec.threads_per_block, spec.shared_mem_bytes,
+        spec.regs_per_thread, spec.needs_sync, id(spec.work),
+        spec.cpu_inst_factor,
+    )
+
+
+def fuse_specs(specs: List[TaskSpec]) -> TaskSpec:
+    """One spec equivalent to running ``specs`` back-to-back.
+
+    Blocks and payload bytes are summed; priority is the members' max
+    (the fused task must not be scheduled later than its most urgent
+    member would have been).
+    """
+    if len(specs) == 1:
+        return specs[0]
+    head = specs[0]
+    return dataclasses.replace(
+        head,
+        name=f"{head.name}+x{len(specs)}",
+        num_blocks=sum(s.num_blocks for s in specs),
+        input_bytes=sum(s.input_bytes for s in specs),
+        output_bytes=sum(s.output_bytes for s in specs),
+        param_bytes=max(s.param_bytes for s in specs),
+        priority=max(s.priority for s in specs),
+    )
+
+
+class BatchPolicy:
+    """How aggressively the dispatcher coalesces queue-front runs."""
+
+    def __init__(self, max_batch: int = 1,
+                 max_blocks: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_blocks < 1:
+            raise ValueError("max_blocks must be >= 1")
+        #: cap on requests fused into one spawn.
+        self.max_batch = max_batch
+        #: cap on the fused task's total blocks — a fused task still
+        #: has to fit one MTB's resources, and a huge fused task would
+        #: serialize behind itself (latency, not throughput).
+        self.max_blocks = max_blocks
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any coalescing can happen at all."""
+        return self.max_batch > 1
+
+    def describe(self) -> str:
+        """Stable one-line description (goes into the report JSON)."""
+        if not self.enabled:
+            return "off"
+        return f"batch(max={self.max_batch}, max_blocks={self.max_blocks})"
+
+    def can_extend(self, batch: List, candidate_spec: TaskSpec,
+                   key: Tuple, blocks: int) -> bool:
+        """Whether ``candidate_spec`` may join the current batch."""
+        if len(batch) >= self.max_batch:
+            return False
+        candidate_key = fuse_key(candidate_spec)
+        if candidate_key is None or candidate_key != key:
+            return False
+        return blocks + candidate_spec.num_blocks <= self.max_blocks

@@ -1,0 +1,133 @@
+"""Log-linear latency histograms (HDR-style) over virtual time.
+
+The latency accountant records hundreds of thousands of per-request,
+per-stage samples; keeping them all and sorting at report time would
+dominate the serve layer's memory.  Instead samples land in an
+HdrHistogram-style *log-linear* bucket array: values below
+``2**precision_bits`` are recorded exactly, larger values share one
+bucket per ``2**-precision_bits`` of relative width, so any percentile
+read back is within ``2**-precision_bits`` (~0.1% at the default 10
+bits) of the true sample — bounded relative error at O(1) memory per
+decade of dynamic range.
+
+Percentile reads return the *upper edge* of the rank's bucket (the
+convention of HdrHistogram's ``highestEquivalentValue``): conservative
+for tail metrics, and integral ns, which is what keeps serialized
+reports byte-stable.  Everything here is integer arithmetic on
+deterministic inputs — two identical runs produce identical
+histograms, bucket for bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class LatencyHistogram:
+    """Sparse log-linear histogram of non-negative ns values."""
+
+    __slots__ = ("precision_bits", "_exact_limit", "counts", "total",
+                 "sum", "min_value", "max_value")
+
+    def __init__(self, precision_bits: int = 10) -> None:
+        if not 1 <= precision_bits <= 20:
+            raise ValueError("precision_bits must be in [1, 20]")
+        self.precision_bits = precision_bits
+        self._exact_limit = 1 << precision_bits
+        #: bucket index -> sample count (sparse; most stages cluster).
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self.sum = 0
+        self.min_value = None  # type: ignore[assignment]
+        self.max_value = None  # type: ignore[assignment]
+
+    # -- recording -----------------------------------------------------------
+
+    def _index(self, value: int) -> int:
+        if value < self._exact_limit:
+            return value
+        shift = value.bit_length() - 1 - self.precision_bits
+        return (shift << self.precision_bits) + (value >> shift)
+
+    def _bucket_high(self, index: int) -> int:
+        """Largest value mapping to ``index`` (what percentiles report)."""
+        if index < self._exact_limit:
+            return index
+        shift = (index >> self.precision_bits) - 1
+        mantissa = index - (shift << self.precision_bits)
+        return ((mantissa + 1) << shift) - 1
+
+    def record(self, value_ns: float, count: int = 1) -> None:
+        """Record ``count`` samples of ``value_ns`` (rounded to int ns)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        value = int(round(value_ns))
+        if value < 0:
+            raise ValueError(f"negative latency sample: {value_ns!r}")
+        idx = self._index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + count
+        self.total += count
+        self.sum += value * count
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (same precision)."""
+        if other.precision_bits != self.precision_bits:
+            raise ValueError("cannot merge histograms of differing precision")
+        for idx, count in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + count
+        self.total += other.total
+        self.sum += other.sum
+        for value in (other.min_value, other.max_value):
+            if value is None:
+                continue
+            if self.min_value is None or value < self.min_value:
+                self.min_value = value
+            if self.max_value is None or value > self.max_value:
+                self.max_value = value
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded samples (0.0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, pct: float) -> int:
+        """Value (ns) at the given percentile, upper-bucket-edge
+        convention; max relative error ``2**-precision_bits``."""
+        if not 0 <= pct <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        target = max(1, -(-int(pct * self.total) // 100))  # ceil
+        cumulative = 0
+        for idx in sorted(self.counts):
+            cumulative += self.counts[idx]
+            if cumulative >= target:
+                # never report past the true maximum (the top bucket's
+                # upper edge can exceed it)
+                return min(self._bucket_high(idx), self.max_value)
+        return self.max_value  # pct == 100 with rounding slack
+
+    def percentiles(self, pcts: Iterable[float]) -> List[Tuple[float, int]]:
+        """Batch percentile read (single cumulative walk)."""
+        return [(p, self.percentile(p)) for p in pcts]
+
+    def summary_us(self) -> Dict[str, float]:
+        """The report-facing digest, in microseconds."""
+        if self.total == 0:
+            return {"count": 0}
+        return {
+            "count": self.total,
+            "mean": round(self.mean / 1e3, 3),
+            "min": round(self.min_value / 1e3, 3),
+            "max": round(self.max_value / 1e3, 3),
+            "p50": round(self.percentile(50) / 1e3, 3),
+            "p95": round(self.percentile(95) / 1e3, 3),
+            "p99": round(self.percentile(99) / 1e3, 3),
+            "p99.9": round(self.percentile(99.9) / 1e3, 3),
+        }

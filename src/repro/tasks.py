@@ -112,6 +112,7 @@ class TaskResult:
     task_id: int
     name: str
     spawn_time: float = 0.0
+    post_time: float = 0.0  # host finished posting the entry (PCIe store)
     sched_time: float = 0.0  # when a runtime picked it for execution
     start_time: float = 0.0  # first warp began executing
     end_time: float = 0.0  # last warp finished

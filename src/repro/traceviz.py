@@ -4,11 +4,18 @@ Load the output in ``chrome://tracing`` / Perfetto to see each task's
 spawn-to-schedule queueing and execution span — the visual version of
 Fig. 10's latency story.  Works on the :class:`~repro.tasks.RunStats`
 of any runtime in the reproduction.
+
+Serving runs get extra rows: :func:`serve_counter_events` turns a
+:class:`~repro.serve.ServeReport`'s timeline into Chrome *counter*
+tracks (ingress queue depth, tasks in flight, drops/s), and
+:func:`export_serve_trace` writes counters plus per-request spans in
+one file.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Dict, List
 
 from repro.tasks import RunStats
@@ -21,8 +28,16 @@ def chrome_trace_events(stats: RunStats, max_tasks: int = 2000) -> List[Dict]:
     """Build trace events: one row per task, queueing + execution spans.
 
     ``max_tasks`` caps output size for huge runs (the viewer chokes on
-    hundreds of thousands of rows).
+    hundreds of thousands of rows); when the cap actually truncates,
+    a :class:`UserWarning` says how many tasks were dropped rather
+    than silently producing a partial trace.
     """
+    if len(stats.results) > max_tasks:
+        warnings.warn(
+            f"trace truncated: {len(stats.results)} tasks, keeping the "
+            f"first {max_tasks} (raise max_tasks to keep more)",
+            stacklevel=2,
+        )
     events: List[Dict] = [{
         "name": "process_name",
         "ph": "M",
@@ -58,6 +73,58 @@ def export_chrome_trace(stats: RunStats, path: str,
                         max_tasks: int = 2000) -> int:
     """Write the trace JSON; returns the number of events written."""
     events = chrome_trace_events(stats, max_tasks)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, fh)
+    return len(events)
+
+
+# -- serving-run counters ------------------------------------------------------
+
+#: Chrome counter tracks run in their own (fake) process row so they
+#: group above the per-task spans in the viewer.
+_COUNTER_PID = 1
+
+
+def serve_counter_events(report) -> List[Dict]:
+    """Counter tracks from a :class:`~repro.serve.ServeReport` timeline.
+
+    Three tracks, sampled at every admission/dispatch/completion edge:
+    ingress queue depth, tasks in flight on the GPU(s), and the drop
+    rate (requests/s, finite-differenced between samples — cumulative
+    totals make a useless flat line in the viewer).
+    """
+    events: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": _COUNTER_PID,
+        "args": {"name": f"serve: {report.label}"},
+    }]
+    prev_t = prev_drops = 0.0
+    for t_ns, depth, inflight, dropped, _finished in report.timeline:
+        ts = t_ns / _NS_PER_US
+        events.append({
+            "name": "ingress queue", "ph": "C", "pid": _COUNTER_PID,
+            "ts": ts, "args": {"depth": depth},
+        })
+        events.append({
+            "name": "in flight", "ph": "C", "pid": _COUNTER_PID,
+            "ts": ts, "args": {"tasks": inflight},
+        })
+        dt_ns = t_ns - prev_t
+        rate = (dropped - prev_drops) * 1e9 / dt_ns if dt_ns > 0 else 0.0
+        events.append({
+            "name": "drops/s", "ph": "C", "pid": _COUNTER_PID,
+            "ts": ts, "args": {"rate": round(rate, 3)},
+        })
+        prev_t, prev_drops = t_ns, dropped
+    return events
+
+
+def export_serve_trace(report, path: str, max_tasks: int = 2000) -> int:
+    """Write one trace for a serving run: the counter tracks plus the
+    usual per-request queueing/execution spans.  Returns the number of
+    events written."""
+    events = serve_counter_events(report)
+    events.extend(chrome_trace_events(report.run_stats(), max_tasks))
     with open(path, "w") as fh:
         json.dump({"traceEvents": events,
                    "displayTimeUnit": "ms"}, fh)

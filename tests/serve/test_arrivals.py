@@ -1,0 +1,61 @@
+"""Load generators: golden seeded schedules and shape invariants."""
+
+import pytest
+
+from repro.serve import (BurstyArrivals, DeterministicArrivals,
+                         PoissonArrivals)
+
+
+def test_poisson_golden_schedule():
+    """The seeded schedule is a contract: byte-identical reports depend
+    on these exact numbers, so a drift here is a breaking change."""
+    assert PoissonArrivals(250_000.0, seed=42).schedule(8) == [
+        4080.241, 4181.556, 5468.052, 6478.397,
+        11812.768, 16329.46, 25238.612, 25602.422,
+    ]
+
+
+def test_bursty_golden_schedule():
+    assert BurstyArrivals(burst_size=3, gap_in_burst_ns=100.0,
+                          idle_gap_ns=5_000.0, seed=7).schedule(8) == [
+        5000.0, 5100.0, 5200.0, 10200.0, 10300.0, 10400.0,
+        15400.0, 15500.0,
+    ]
+
+
+def test_deterministic_schedule():
+    assert DeterministicArrivals(250.0).schedule(4) == [
+        250.0, 500.0, 750.0, 1000.0,
+    ]
+
+
+def test_same_seed_same_schedule_fresh_instance():
+    a = PoissonArrivals(100_000.0, seed=9).schedule(64)
+    b = PoissonArrivals(100_000.0, seed=9).schedule(64)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert (PoissonArrivals(100_000.0, seed=1).schedule(16)
+            != PoissonArrivals(100_000.0, seed=2).schedule(16))
+
+
+def test_poisson_mean_gap_tracks_rate():
+    rate = 200_000.0  # mean gap 5000 ns
+    sched = PoissonArrivals(rate, seed=3).schedule(4000)
+    mean_gap = sched[-1] / len(sched)
+    assert mean_gap == pytest.approx(1e9 / rate, rel=0.05)
+
+
+def test_schedules_are_strictly_increasing():
+    for arr in (PoissonArrivals(500_000.0, seed=0),
+                BurstyArrivals(burst_size=4, gap_in_burst_ns=10.0,
+                               idle_gap_ns=100.0, jitter=0.5, seed=1),
+                DeterministicArrivals(1.0)):
+        sched = arr.schedule(256)
+        assert all(b > a for a, b in zip(sched, sched[1:])), arr.describe()
+
+
+def test_describe_mentions_parameters():
+    assert "250000" in PoissonArrivals(250_000.0, seed=42).describe()
+    assert "seed" in PoissonArrivals(250_000.0, seed=42).describe()

@@ -1,0 +1,77 @@
+"""Same-kernel coalescing: fusion identity and policy limits."""
+
+from repro.gpu.phases import Phase
+from repro.serve import BatchPolicy, fuse_key, fuse_specs
+from repro.tasks import TaskSpec
+
+
+def kernel_a(task, block_id, warp_id):
+    yield Phase(inst=1000)
+
+
+def kernel_b(task, block_id, warp_id):
+    yield Phase(inst=1000)
+
+
+WORK = {"n": 4}
+
+
+def spec(name="t", kernel=kernel_a, threads=64, blocks=2, work=WORK,
+         **kw):
+    return TaskSpec(name, threads, blocks, kernel, work=work, **kw)
+
+
+def test_same_shape_same_key():
+    assert fuse_key(spec("a")) == fuse_key(spec("b"))
+
+
+def test_different_kernel_or_geometry_differs():
+    base = fuse_key(spec())
+    assert fuse_key(spec(kernel=kernel_b)) != base
+    assert fuse_key(spec(threads=128)) != base
+    assert fuse_key(spec(work={"n": 4})) != base  # payload identity
+
+
+def test_functional_kernels_never_fuse():
+    functional = TaskSpec("f", 64, 1, kernel_a, func=lambda t: None)
+    assert fuse_key(functional) is None
+
+
+def test_fuse_specs_sums_blocks_and_keeps_urgency():
+    fused = fuse_specs([
+        spec("a", blocks=2, input_bytes=100, priority=1),
+        spec("b", blocks=3, input_bytes=50, priority=7),
+        spec("c", blocks=1, input_bytes=10, priority=0),
+    ])
+    assert fused.name == "a+x3"
+    assert fused.num_blocks == 6
+    assert fused.input_bytes == 160
+    assert fused.priority == 7
+    # recomputed geometry survives dataclasses.replace
+    assert fused.warps_per_block == spec().warps_per_block
+
+
+def test_fuse_single_is_identity():
+    s = spec()
+    assert fuse_specs([s]) is s
+
+
+def test_policy_disabled_by_default():
+    assert not BatchPolicy().enabled
+    assert BatchPolicy().describe() == "off"
+
+
+def test_can_extend_respects_caps_and_key():
+    policy = BatchPolicy(max_batch=2, max_blocks=4)
+    key = fuse_key(spec())
+    assert policy.can_extend(["head"], spec(blocks=2), key, blocks=2)
+    # batch-size cap
+    assert not policy.can_extend(["h", "i"], spec(blocks=1), key, blocks=2)
+    # block-budget cap
+    assert not policy.can_extend(["head"], spec(blocks=3), key, blocks=2)
+    # shape mismatch
+    assert not policy.can_extend(["head"], spec(kernel=kernel_b), key,
+                                 blocks=2)
+    # unbatchable candidate
+    functional = TaskSpec("f", 64, 1, kernel_a, func=lambda t: None)
+    assert not policy.can_extend(["head"], functional, key, blocks=2)

@@ -1,0 +1,98 @@
+"""The HDR-style histogram against a naive sorted-list oracle."""
+
+import random
+
+import pytest
+
+from repro.serve import LatencyHistogram
+
+
+def oracle_percentile(values, pct):
+    """Nearest-rank percentile on the raw sorted values."""
+    ordered = sorted(values)
+    rank = max(1, -(-int(pct * len(ordered)) // 100))
+    return ordered[rank - 1]
+
+
+@pytest.mark.parametrize("pct", [50, 90, 95, 99, 99.9])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_percentiles_match_sorted_oracle(pct, seed):
+    """Bucketing error is bounded by the precision: the histogram's
+    answer must be within 2^-precision_bits (relative) of the oracle."""
+    rng = random.Random(seed)
+    values = [rng.randrange(1, 10_000_000) for _ in range(5_000)]
+    hist = LatencyHistogram(precision_bits=10)
+    for v in values:
+        hist.record(v)
+    expect = oracle_percentile(values, pct)
+    assert hist.percentile(pct) == pytest.approx(expect, rel=2 ** -10 + 1e-9)
+
+
+def test_exact_below_precision_threshold():
+    """Values below 2^precision_bits land in unit buckets: exact."""
+    hist = LatencyHistogram(precision_bits=10)
+    for v in (3, 500, 1023):
+        hist.record(v)
+    assert hist.percentile(0) == 3
+    assert hist.percentile(50) == 500
+    assert hist.percentile(100) == 1023
+
+
+def test_mean_min_max_and_count():
+    hist = LatencyHistogram()
+    for v in (100, 200, 300):
+        hist.record(v)
+    assert hist.total == 3
+    assert hist.mean == pytest.approx(200.0)
+    assert hist.min_value == 100
+    assert hist.max_value == 300
+
+
+def test_merge_equals_combined_recording():
+    rng = random.Random(4)
+    a_vals = [rng.randrange(1, 1_000_000) for _ in range(500)]
+    b_vals = [rng.randrange(1, 1_000_000) for _ in range(700)]
+    a, b, both = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    for v in a_vals:
+        a.record(v)
+        both.record(v)
+    for v in b_vals:
+        b.record(v)
+        both.record(v)
+    a.merge(b)
+    assert a.total == both.total
+    for pct in (50, 95, 99):
+        assert a.percentile(pct) == both.percentile(pct)
+
+
+def test_empty_histogram_is_quiet():
+    hist = LatencyHistogram()
+    assert hist.total == 0
+    assert hist.mean == 0.0
+    assert hist.summary_us() == {"count": 0}
+    with pytest.raises(ValueError):
+        hist.percentile(99)
+
+
+def test_summary_us_is_rounded_microseconds():
+    hist = LatencyHistogram()
+    hist.record(100_000)  # 100 us
+    summary = hist.summary_us()
+    assert summary["count"] == 1
+    assert summary["p50"] == pytest.approx(100.0, rel=2 ** -10 + 1e-9)
+    # every float in the summary carries at most 3 decimals (canonical
+    # JSON depends on this)
+    for value in summary.values():
+        assert value == round(value, 3)
+
+
+def test_relative_error_bound_holds_across_magnitudes():
+    """Spot-check the documented bound at widely spread magnitudes."""
+    hist = LatencyHistogram(precision_bits=10)
+    for magnitude in (10, 10_000, 10_000_000, 10_000_000_000):
+        hist2 = LatencyHistogram(precision_bits=10)
+        hist2.record(magnitude)
+        assert hist2.percentile(100) == pytest.approx(
+            magnitude, rel=2 ** -10 + 1e-9)
+        hist.record(magnitude)
+    assert hist.total == 4

@@ -1,0 +1,112 @@
+"""Admission policies as pure state machines over virtual time."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serve import (ADMIT, DROP, WAIT, AlwaysAdmit, Backpressure,
+                         DropTail, TenantFairQueue, TokenBucket)
+
+
+class FakeQueue:
+    """Just enough queue surface for the policy interface."""
+
+    def __init__(self, depths=None):
+        self.depths = dict(depths or {})
+
+    def __len__(self):
+        return sum(self.depths.values())
+
+    def depth(self, tenant):
+        return self.depths.get(tenant, 0)
+
+    def tenant_names(self):
+        return sorted(self.depths)
+
+
+def req(tenant="a"):
+    return SimpleNamespace(tenant=tenant)
+
+
+def test_always_admit_admits():
+    assert AlwaysAdmit().admit(req(), FakeQueue({"a": 10 ** 6}), 0.0) == ADMIT
+
+
+def test_drop_tail_bounds_depth():
+    policy = DropTail(max_depth=2)
+    assert policy.admit(req(), FakeQueue({"a": 1}), 0.0) == ADMIT
+    assert policy.admit(req(), FakeQueue({"a": 2}), 0.0) == DROP
+
+
+def test_backpressure_waits_instead_of_dropping():
+    policy = Backpressure(max_depth=1)
+    assert policy.admit(req(), FakeQueue(), 0.0) == ADMIT
+    assert policy.admit(req(), FakeQueue({"a": 1}), 0.0) == WAIT
+
+
+def test_token_bucket_burst_then_refill():
+    policy = TokenBucket(rate_per_s=1e9, burst=2)  # 1 token per ns
+    q = FakeQueue()
+    # burst drains at t=0
+    assert policy.admit(req(), q, 0.0) == ADMIT
+    assert policy.admit(req(), q, 0.0) == ADMIT
+    assert policy.admit(req(), q, 0.0) == DROP
+    # half a token at +0.5 ns: still short
+    assert policy.admit(req(), q, 0.5) == DROP
+    # lazy refill settles the balance at the next decision
+    assert policy.admit(req(), q, 2.0) == ADMIT
+
+
+def test_token_bucket_caps_sustained_admission_rate():
+    rate = 1e6  # one token per 1000 ns
+    policy = TokenBucket(rate_per_s=rate, burst=4)
+    q = FakeQueue()
+    admitted = sum(
+        policy.admit(req(), q, t * 100.0) == ADMIT for t in range(1000)
+    )
+    # 100 us horizon at 1 token/us -> ~100 sustained + the burst
+    assert admitted <= 100 + 4
+    assert admitted >= 100
+
+
+def test_token_bucket_never_exceeds_burst():
+    policy = TokenBucket(rate_per_s=1e9, burst=3)
+    q = FakeQueue()
+    # a long idle period must not bank more than `burst` tokens
+    results = [policy.admit(req(), q, 1e9) for _ in range(5)]
+    assert results == [ADMIT, ADMIT, ADMIT, DROP, DROP]
+
+
+def test_tenant_fair_queue_isolates_flooder():
+    policy = TenantFairQueue(max_depth=8)
+    # "bulk" fills its half; "sensor" still gets in
+    q = FakeQueue({"bulk": 4, "sensor": 0})
+    assert policy.admit(req("bulk"), q, 0.0) == DROP
+    assert policy.admit(req("sensor"), q, 0.0) == ADMIT
+    assert policy.fair_dequeue
+
+
+def test_tenant_fair_queue_weighted_shares():
+    policy = TenantFairQueue(max_depth=12, weights={"big": 2, "small": 1})
+    assert policy.admit(req("big"), FakeQueue({"big": 7}), 0.0) == ADMIT
+    assert policy.admit(req("big"), FakeQueue({"big": 8}), 0.0) == DROP
+    assert policy.admit(req("small"), FakeQueue({"small": 3}), 0.0) == ADMIT
+    assert policy.admit(req("small"), FakeQueue({"small": 4}), 0.0) == DROP
+
+
+@pytest.mark.parametrize("build", [
+    lambda: DropTail(0), lambda: Backpressure(0),
+    lambda: TokenBucket(0.0), lambda: TokenBucket(1.0, burst=0),
+    lambda: TenantFairQueue(0),
+])
+def test_invalid_parameters_rejected(build):
+    with pytest.raises(ValueError):
+        build()
+
+
+def test_describe_is_stable():
+    assert DropTail(4).describe() == "drop-tail(max_depth=4)"
+    assert TokenBucket(250_000.0, burst=8).describe() == \
+        "token-bucket(rate_per_s=250000, burst=8)"
+    assert TenantFairQueue(8, {"a": 1}).describe() == \
+        "tenant-fair(max_depth=8, weights[a=1])"

@@ -2,8 +2,15 @@
 
 import json
 
+import pytest
+
 from repro.tasks import RunStats, TaskResult
-from repro.traceviz import chrome_trace_events, export_chrome_trace
+from repro.traceviz import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_serve_trace,
+    serve_counter_events,
+)
 
 
 def make_stats(n=3):
@@ -33,10 +40,16 @@ def test_queued_span_measures_spawn_to_sched():
     assert queued["dur"] == 0.05
 
 
-def test_max_tasks_caps_output():
-    events = chrome_trace_events(make_stats(10), max_tasks=2)
+def test_max_tasks_caps_output_and_warns():
+    with pytest.warns(UserWarning, match="trace truncated: 10 tasks"):
+        events = chrome_trace_events(make_stats(10), max_tasks=2)
     execs = [e for e in events if e["name"] == "exec"]
     assert len(execs) == 2
+
+
+def test_no_warning_when_under_cap(recwarn):
+    chrome_trace_events(make_stats(3), max_tasks=3)
+    assert not recwarn.list
 
 
 def test_export_writes_valid_json(tmp_path):
@@ -61,3 +74,40 @@ def test_export_from_real_run(tmp_path):
     count = export_chrome_trace(stats, str(path))
     assert count > 20
     json.loads(path.read_text())
+
+
+def _serve_report(n=20):
+    from repro.gpu.phases import Phase
+    from repro.serve import DeterministicArrivals, TenantSpec, serve
+    from repro.tasks import TaskSpec
+
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=500)
+
+    tasks = [TaskSpec(f"t{i}", 64, 1, kernel) for i in range(n)]
+    return serve([TenantSpec("a", tasks, DeterministicArrivals(500.0))])
+
+
+def test_serve_counter_events_track_queue_and_drops():
+    report = _serve_report()
+    events = serve_counter_events(report)
+    names = {e["name"] for e in events}
+    assert {"ingress queue", "in flight", "drops/s"} <= names
+    counters = [e for e in events if e["ph"] == "C"]
+    assert len(counters) == 3 * len(report.timeline)
+    # timestamps must be non-decreasing for the viewer
+    ts = [e["ts"] for e in counters]
+    assert ts == sorted(ts)
+    # no drops in this run: the rate track stays at zero
+    assert all(e["args"]["rate"] == 0.0
+               for e in counters if e["name"] == "drops/s")
+
+
+def test_export_serve_trace_combines_counters_and_spans(tmp_path):
+    report = _serve_report()
+    path = tmp_path / "serve.json"
+    count = export_serve_trace(report, str(path))
+    data = json.loads(path.read_text())
+    assert len(data["traceEvents"]) == count
+    names = {e["name"] for e in data["traceEvents"]}
+    assert {"ingress queue", "exec", "queued"} <= names
