@@ -49,6 +49,11 @@ from repro.tasks import TaskSpec  # noqa: E402
 OUTPUT = ROOT / "BENCH_simcore.json"
 REGRESSION_TOLERANCE = 0.20
 FIG5_SLICE_TASKS = 48
+#: hard floor on instrumented/uninstrumented pagoda throughput: obs-on
+#: is allowed to cost (profiler wrapping is per-event), but if a full
+#: Obs context ever costs more than 4x it stopped being "observability"
+#: and became the workload.
+OBS_OVERHEAD_FLOOR = 0.25
 
 #: Seed-commit throughputs measured on the machine that recorded the
 #: first BENCH_simcore.json (best-of-run minima of the pytest-benchmark
@@ -134,6 +139,33 @@ def bench_pagoda_stack(repeats: int = 3):
 
     completed, wall = _best_of(run, repeats)
     return completed / wall, wall
+
+
+def bench_obs_overhead(repeats: int = 3):
+    """The pagoda-stack scenario again with a full Obs attached.
+
+    Returns ``(tasks/s, wall, snapshot)``; the ratio against the
+    uninstrumented run is the ``obs_on_off_ratio`` guard metric, and
+    the (deterministic) snapshot rides in the bench record so every PR
+    leaves a stats digest behind alongside its perf numbers.
+    """
+    from repro.obs import Obs
+
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=2_000, mem_bytes=256)
+
+    snapshots = []
+
+    def run():
+        tasks = [TaskSpec(f"t{i}", 128, 1, kernel) for i in range(500)]
+        obs = Obs()
+        stats = run_pagoda(tasks, config=PagodaConfig(
+            copy_inputs=False, copy_outputs=False, obs=obs))
+        snapshots.append(stats.meta["stats_snapshot"])
+        return len(stats.results)
+
+    completed, wall = _best_of(run, repeats)
+    return completed / wall, wall, snapshots[-1]
 
 
 def bench_scheduler_wakes(repeats: int = 5):
@@ -233,6 +265,7 @@ def measure() -> dict:
     events_per_s, events_wall = bench_engine_events()
     jobs_per_s, ps_wall = bench_ps_churn()
     tasks_per_s, pagoda_wall = bench_pagoda_stack()
+    obs_tasks_per_s, obs_wall, stats_snapshot = bench_obs_overhead()
     wakes_per_s, wakes_wall = bench_scheduler_wakes()
     warp_ops_per_s, warp_wall = bench_warptable_churn()
     serve_per_s, serve_wall = bench_serve_stack()
@@ -241,6 +274,8 @@ def measure() -> dict:
         "engine_events_per_s": round(events_per_s, 1),
         "ps_jobs_per_s": round(jobs_per_s, 1),
         "pagoda_tasks_per_s": round(tasks_per_s, 1),
+        "pagoda_tasks_per_s_obs": round(obs_tasks_per_s, 1),
+        "obs_on_off_ratio": round(obs_tasks_per_s / tasks_per_s, 3),
         "scheduler_wakes_per_s": round(wakes_per_s, 1),
         "warptable_ops_per_s": round(warp_ops_per_s, 1),
         "serve_requests_per_s": round(serve_per_s, 1),
@@ -251,11 +286,13 @@ def measure() -> dict:
             "engine_ping_pong": round(events_wall, 4),
             "ps_churn": round(ps_wall, 4),
             "pagoda_stack": round(pagoda_wall, 4),
+            "pagoda_stack_obs": round(obs_wall, 4),
             "scheduler_wakes": round(wakes_wall, 4),
             "warptable_churn": round(warp_wall, 4),
             "serve_stack": round(serve_wall, 4),
             f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
         },
+        "stats_snapshot": stats_snapshot,
         # metrics introduced after the seed commit have no seed number
         # to compare against and are simply absent here
         "speedup_vs_seed": {
@@ -289,10 +326,19 @@ def load_baseline(baseline_path: pathlib.Path):
     return metrics
 
 
+# Guard metrics with their own dedicated checks (the obs overhead
+# ratio has a hard floor above) are excluded from the generic >20%
+# throughput comparison: a ratio of two noisy timings swings far more
+# run-to-run than either timing alone.
+_NON_THROUGHPUT_METRICS = frozenset({"obs_on_off_ratio"})
+
+
 def check_regression(record: dict, baseline: dict) -> list:
     """Metrics that regressed >tolerance vs the committed baseline."""
     regressed = []
     for key, old in baseline.items():
+        if key in _NON_THROUGHPUT_METRICS:
+            continue
         new = record["metrics"].get(key)
         if new is None or old <= 0:
             continue
@@ -319,6 +365,16 @@ def main(argv=None) -> int:
         print(f"{key:>24}: {value:>14,.1f}  {vs_seed}")
     for key, value in record["wall_s"].items():
         print(f"{key:>24}: {value:>12.3f} s")
+
+    # the obs guard is absolute, not baseline-relative: instrumentation
+    # overhead is a contract, so the floor applies from the first run
+    ratio = record["metrics"].get("obs_on_off_ratio")
+    if ratio is not None and ratio < OBS_OVERHEAD_FLOOR:
+        print(f"\nWARNING: obs_on_off_ratio {ratio:.3f} is below the "
+              f"{OBS_OVERHEAD_FLOOR} floor: observability costs more "
+              "than its budget")
+        if not args.no_fail:
+            return 1
 
     baseline = load_baseline(args.output)
     if baseline is None:

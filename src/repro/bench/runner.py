@@ -16,6 +16,7 @@ from repro.bench import (
     config_sweeps,
     fig5,
     latency_under_load,
+    obs_profile,
     priorities,
     fig6,
     fig7,
@@ -36,12 +37,13 @@ EXPERIMENTS = {
     "priorities": priorities,
     "sweeps": config_sweeps,
     "serve_p99_under_load": serve_load,
+    "obs": obs_profile,
 }
 
 #: experiments whose run() takes a num_tasks argument
 TASK_SIZED = {"fig5", "fig7", "fig9", "fig11", "tab3", "tab5",
               "ablations", "load", "priorities", "sweeps",
-              "serve_p99_under_load"}
+              "serve_p99_under_load", "obs"}
 
 
 def run_one(name: str, num_tasks: Optional[int]) -> str:

@@ -97,7 +97,7 @@ class Mtb:
                  arena_bytes: int = MTB_ARENA_BYTES,
                  deferred_scheduling: bool = False,
                  trace=None, watchdog_deadline_ns: Optional[float] = None,
-                 faults=None) -> None:
+                 faults=None, obs=None) -> None:
         self.engine = engine
         self.gpu = gpu
         self.smm = smm
@@ -124,6 +124,20 @@ class Mtb:
         #: optional :class:`repro.faults.FaultInjector`; executor warps
         #: draw ``gpu.slow_warp`` / ``gpu.stuck_warp`` / ``task.*``.
         self.faults = faults
+        #: optional :class:`repro.obs.Obs`.  Hooks: scheduler-decision
+        #: counters + instant events (``schedule``/``promote``/``defer``
+        #: /``task_done``/``task_fail``) and the per-SMM busy-executor
+        #: utilization timeline (both MTBs of one SMM share the track).
+        self.obs = obs
+        if obs is not None:
+            self._obs_busy = obs.timeline(f"gpu.smm{smm.index}.busy_warps")
+            self._obs_sched = obs.counter("sched.decisions.schedule")
+            self._obs_promote = obs.counter("sched.decisions.promote")
+            self._obs_defer = obs.counter("sched.decisions.defer")
+            self._obs_done = obs.counter("sched.tasks_done")
+            self._obs_fail = obs.counter("sched.tasks_failed")
+        else:
+            self._obs_busy = None
         self.arena_bytes = arena_bytes
         self.warptable = WarpTable()
         self.buddy = BuddyAllocator(arena_bytes)
@@ -205,6 +219,11 @@ class Mtb:
                     if self.trace is not None:
                         self.trace.sample("defer", self.engine.now,
                                           entry.task_id)
+                    if self.obs is not None:
+                        self._obs_defer.inc()
+                        self.obs.instant(f"sched.mtb{self.column}", "defer",
+                                         self.engine.now,
+                                         task_id=entry.task_id, row=row)
                     continue
                 yield from self._schedule_task(row, entry)
             yield wakeup
@@ -239,6 +258,10 @@ class Mtb:
             prev.sched = 1
             if self.trace is not None:
                 self.trace.sample("promote", self.engine.now, prev_id)
+            if self.obs is not None:
+                self._obs_promote.inc()
+                self.obs.instant(f"sched.mtb{self.column}", "promote",
+                                 self.engine.now, task_id=prev_id)
             self.table.mark_row_dirty(pcol, prow)
             self.table.column_signals[pcol].pulse()
         elif prev.task_id == prev_id and prev.ready > READY_SCHEDULING:
@@ -283,6 +306,11 @@ class Mtb:
             entry.result.sched_time = self.engine.now
         if self.trace is not None:
             self.trace.sample("schedule", self.engine.now, entry.task_id)
+        if self.obs is not None:
+            self._obs_sched.inc()
+            self.obs.instant(f"sched.mtb{self.column}", "schedule",
+                             self.engine.now, task_id=entry.task_id,
+                             task=task.name, row=row)
         wpb = task.warps_per_block
         state = ExecState(
             done_ctr=task.total_warps,
@@ -391,6 +419,8 @@ class Mtb:
                     bar_id=bar_id, block_id=warp_id // wpb,
                 )
                 self.busy_warps.add(self.engine.now, 1)
+                if self._obs_busy is not None:
+                    self._obs_busy.add(self.engine.now, 1)
                 placed += 1
                 dispatched.append(slot)
             # wake only the dispatched executors, after the whole pass
@@ -422,6 +452,7 @@ class Mtb:
         execute_phase = self.smm.execute_phase
         dram = self.gpu.dram
         busy_warps = self.busy_warps
+        obs_busy = self._obs_busy
         engine = self.engine
         while True:
             if not slot.exec_flag:
@@ -493,11 +524,15 @@ class Mtb:
                 self.fail_entry(slot.e_num, entry, fail_reason,
                                 skip_slot=slot_index)
                 busy_warps.add(engine.now, -1)
+                if obs_busy is not None:
+                    obs_busy.add(engine.now, -1)
                 wt.retire(slot_index)
                 continue
             self._warp_epilogue(slot.e_num, slot.block_id,
                                 entry, task, state)
             busy_warps.add(engine.now, -1)
+            if obs_busy is not None:
+                obs_busy.add(engine.now, -1)
             wt.retire(slot_index)
             if self.deferred_scheduling:
                 # freed resources may unblock a deferred row
@@ -528,6 +563,11 @@ class Mtb:
             if self.trace is not None:
                 self.trace.sample("task_done", self.engine.now,
                                   entry.task_id)
+            if self.obs is not None:
+                self._obs_done.inc()
+                self.obs.instant(f"sched.mtb{self.column}", "task_done",
+                                 self.engine.now, task_id=entry.task_id,
+                                 task=task.name)
             self.table.gpu_complete(self.column, row)  # line 42
 
     # -- hardening: kill / watchdog / brown-out --------------------------------
@@ -565,6 +605,8 @@ class Mtb:
                 proc.interrupt()
                 self._exec_spawned &= ~(1 << idx)
             self.busy_warps.add(self.engine.now, -1)
+            if self._obs_busy is not None:
+                self._obs_busy.add(self.engine.now, -1)
             wt.retire(idx)
         if state is not None:
             for offset in state.block_sm_offset.values():
@@ -580,6 +622,11 @@ class Mtb:
         self.tasks_failed += 1
         if self.trace is not None:
             self.trace.sample("task_fail", self.engine.now, entry.task_id)
+        if self.obs is not None:
+            self._obs_fail.inc()
+            self.obs.instant(f"sched.mtb{self.column}", "task_fail",
+                             self.engine.now, task_id=entry.task_id,
+                             reason=reason)
         self.table.gpu_complete(self.column, row, error=err)
         # freed warps / arena / barriers may unblock queued rows
         self.table.column_signals[self.column].pulse()
@@ -649,7 +696,7 @@ class MasterKernel:
                  serial_psched: bool = False,
                  deferred_scheduling: bool = False,
                  trace=None, watchdog_deadline_ns: Optional[float] = None,
-                 faults=None) -> None:
+                 faults=None, obs=None) -> None:
         expected_columns = gpu.spec.num_smms * MTBS_PER_SMM
         if table.num_columns != expected_columns:
             raise ValueError(
@@ -675,7 +722,7 @@ class MasterKernel:
                         serial_psched, self.arena_bytes,
                         deferred_scheduling, trace,
                         watchdog_deadline_ns=watchdog_deadline_ns,
-                        faults=faults)
+                        faults=faults, obs=obs)
                 )
                 column += 1
 

@@ -82,6 +82,12 @@ class PagodaConfig:
     #: consecutive lethal failures before a TaskTable slot is retired
     #: from the free list (None disables quarantine).
     quarantine_threshold: Optional[int] = 3
+    #: optional :class:`repro.obs.Obs`; attaching one instruments every
+    #: layer of the stack (engine profiler, PCIe counters, TaskTable
+    #: occupancy, scheduler decisions, per-SMM utilization timelines)
+    #: and puts a ``stats_snapshot`` into ``RunStats.meta``.  ``None``
+    #: (the default) leaves the run bit-identical and unslowed.
+    obs: Optional[object] = None
 
 
 class PagodaSession:
@@ -103,15 +109,20 @@ class PagodaSession:
         if self.config.fault_plan is not None:
             from repro.faults import FaultInjector
             self.faults = FaultInjector(self.engine, self.config.fault_plan)
-        self.gpu = Gpu(self.engine, self.spec, self.timing)
+        #: optional Obs shared by every layer (None = no instrumentation).
+        self.obs = self.config.obs
+        if self.obs is not None and getattr(self.obs, "profiler", None):
+            self.engine.profiler = self.obs.profiler
+        self.gpu = Gpu(self.engine, self.spec, self.timing, obs=self.obs)
         self.bus = PcieBus(self.engine, self.timing,
                            coalesce=self.config.pcie_coalesce,
-                           faults=self.faults)
+                           faults=self.faults, obs=self.obs)
         num_columns = self.spec.num_smms * MTBS_PER_SMM
         self.table = TaskTable(
             self.engine, self.bus, num_columns, rows=self.config.rows,
             faults=self.faults,
             quarantine_threshold=self.config.quarantine_threshold,
+            obs=self.obs,
         )
         from repro.sim import Recorder
         self.scheduler_trace = (
@@ -125,6 +136,7 @@ class PagodaSession:
             trace=self.scheduler_trace,
             watchdog_deadline_ns=self.config.watchdog_deadline_ns,
             faults=self.faults,
+            obs=self.obs,
         )
         self.host = PagodaHost(self.engine, self.table, self.timing,
                                protocol=self.config.protocol,
@@ -266,6 +278,8 @@ def run_pagoda(tasks: List[TaskSpec],
             "watchdog_kills": len(session.master.watchdog_kills()),
             "quarantined_slots": sorted(table.quarantined),
         })
+    if session.obs is not None:
+        meta["stats_snapshot"] = session.obs.snapshot(engine)
     return RunStats(
         runtime="pagoda" if not config.batch_size else "pagoda-batching",
         makespan=makespan,

@@ -75,11 +75,24 @@ class TaskTable:
 
     def __init__(self, engine: Engine, bus: PcieBus, num_columns: int,
                  rows: int = 32, faults=None,
-                 quarantine_threshold: Optional[int] = 3) -> None:
+                 quarantine_threshold: Optional[int] = 3,
+                 obs=None) -> None:
         if num_columns < 1 or rows < 1:
             raise ValueError("table must have at least one column and row")
         self.engine = engine
         self.bus = bus
+        #: optional :class:`repro.obs.Obs`.  Hooks: the GPU-mirror slot
+        #: occupancy gauge/timeline (entry lands -> +1, completion ->
+        #: -1), dirty-row scan counters, and posted-write/copy-back
+        #: counters.  ``None`` (default) leaves every path untouched.
+        self.obs = obs
+        if obs is not None:
+            self._obs_slots = obs.gauge("table.slots_occupied")
+            self._obs_slots_tl = obs.timeline("table.slots_occupied")
+            self._obs_scans = obs.counter("table.dirty_row_scans")
+            self._obs_rows_visited = obs.counter("table.dirty_rows_visited")
+            self._obs_posts = obs.counter("table.entry_posts")
+            self._obs_copy_backs = obs.counter("table.copy_backs")
         #: optional :class:`repro.faults.FaultInjector`; hook points
         #: draw ``pcie.reorder`` (entry posted-write lands late, out of
         #: order w.r.t. later writes) and ``pcie.stale_read`` (a lazy
@@ -205,6 +218,10 @@ class TaskTable:
         mask = self._dirty_rows[col]
         if mask:
             self._dirty_rows[col] = 0
+        if self.obs is not None:
+            self._obs_scans.inc()
+            if mask:
+                self._obs_rows_visited.inc(mask.bit_count())
         return mask
 
     def take_dirty_rows_above(self, col: int, row: int) -> int:
@@ -302,9 +319,18 @@ class TaskTable:
         dst.ready = src.ready
         src.inflight = False
         self.entry_copies += 1
+        if self.obs is not None:
+            self._obs_entry_landed()
         self.mark_row_dirty(col, row)
         self.notify_ready_copied(col, row)
         self.column_signals[col].pulse()
+
+    def _obs_entry_landed(self) -> None:
+        """Obs hook: an entry became occupied on the GPU mirror."""
+        now = self.engine.now
+        self._obs_posts.inc()
+        self._obs_slots.add(now, 1)
+        self._obs_slots_tl.add(now, 1)
 
     def copy_entry_two_transactions(self, col: int, row: int) -> Generator:
         """The §4.2.1 strawman the pipelined protocol replaces: params
@@ -330,6 +356,8 @@ class TaskTable:
         dst.sched = 1
         src.inflight = False
         self.entry_copies += 1
+        if self.obs is not None:
+            self._obs_entry_landed()
         self.mark_row_dirty(col, row)
         self.column_signals[col].pulse()
 
@@ -393,6 +421,8 @@ class TaskTable:
         nbytes = self.capacity * READBACK_BYTES_PER_ENTRY
         yield from self.bus.transfer(nbytes, Direction.D2H)
         self.copy_backs += 1
+        if self.obs is not None:
+            self._obs_copy_backs.inc()
         drained, self._completed_unreported = self._completed_unreported, []
         faults = self.faults
         for col, row in drained:
@@ -481,6 +511,10 @@ class TaskTable:
             entry.error = None
             self._slot_failures.pop((col, row), None)
         self.gpu_finished.add(entry.task_id)
+        if self.obs is not None:
+            now = self.engine.now
+            self._obs_slots.add(now, -1)
+            self._obs_slots_tl.add(now, -1)
         self._completed_unreported.append((col, row))
         self.gpu_done_signal.pulse((col, row))
 

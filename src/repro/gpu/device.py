@@ -24,12 +24,13 @@ class Gpu:
         engine: Engine,
         spec: Optional[GpuSpec] = None,
         timing: Optional[TimingModel] = None,
+        obs=None,
     ) -> None:
         self.engine = engine
         self.spec = spec or titan_x()
         self.timing = timing or DEFAULT_TIMING
         self.smms: List[Smm] = [
-            Smm(engine, self.spec, self.timing, i)
+            Smm(engine, self.spec, self.timing, i, obs=obs)
             for i in range(self.spec.num_smms)
         ]
         self.dram = ProcessorSharing(

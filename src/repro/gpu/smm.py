@@ -26,7 +26,8 @@ class Smm:
     """Event-driven model of one SMM."""
 
     def __init__(
-        self, engine: Engine, spec: GpuSpec, timing: TimingModel, index: int
+        self, engine: Engine, spec: GpuSpec, timing: TimingModel, index: int,
+        obs=None,
     ) -> None:
         self.engine = engine
         self.spec = spec
@@ -42,6 +43,14 @@ class Smm:
         self.free_registers = spec.registers_per_smm
         self.free_shared_mem = spec.shared_mem_per_smm
         self.resident_warps = TimeWeighted()
+        #: optional :class:`repro.obs.Obs`: the per-SMM occupancy
+        #: timeline (resident warps over virtual time, a Perfetto
+        #: counter track).  ``None`` costs nothing.
+        self.obs = obs
+        self._obs_resident = (
+            obs.timeline(f"gpu.smm{index}.resident_warps")
+            if obs is not None else None
+        )
 
     # -- block placement -------------------------------------------------
 
@@ -66,6 +75,8 @@ class Smm:
         self.free_registers -= registers
         self.free_shared_mem -= shared_mem
         self.resident_warps.add(self.engine.now, warps)
+        if self._obs_resident is not None:
+            self._obs_resident.add(self.engine.now, warps)
 
     def release_block(self, warps: int, registers: int, shared_mem: int) -> None:
         """Return a retired block's resources."""
@@ -81,6 +92,8 @@ class Smm:
         ):
             raise RuntimeError(f"SMM {self.index}: resource over-release")
         self.resident_warps.add(self.engine.now, -warps)
+        if self._obs_resident is not None:
+            self._obs_resident.add(self.engine.now, -warps)
 
     # -- warp execution ----------------------------------------------------
 

@@ -1,0 +1,69 @@
+"""``repro.obs`` — the unified observability layer.
+
+Three pieces, all off by default and contractually free when off:
+
+- the **metrics registry** (:class:`Obs`): counters, time-weighted
+  gauges, per-sample distributions, virtual-time-weighted histograms,
+  and counter-track timelines, with shared-by-name instruments and
+  no-op null handles (:data:`NULL_COUNTER` and friends);
+- the **sim profiler** (:class:`SimProfiler`): deterministic
+  per-process event and virtual-time accounting, attached through
+  ``engine.profiler``;
+- the **Perfetto exporter** (:mod:`repro.obs.perfetto`): one
+  trace-event JSON carrying task spans, serve counters, obs counter
+  tracks (per-SMM utilization) and scheduler-decision instants.
+
+Wiring: pass an :class:`Obs` as ``PagodaConfig(obs=...)`` (or set it
+on a :class:`~repro.serve.ServeConfig`'s ``pagoda`` config) and every
+layer of the stack hooks itself up; read the results back with
+:meth:`Obs.snapshot` (validated against :data:`SNAPSHOT_SCHEMA`).
+"""
+
+from repro.obs.perfetto import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_serve_trace,
+    obs_counter_events,
+    obs_instant_events,
+    serve_counter_events,
+)
+from repro.obs.profiler import ProcStat, SimProfiler
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_DISTRIBUTION,
+    NULL_GAUGE,
+    NULL_INSTRUMENT,
+    NULL_SERIES,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Distribution,
+    Gauge,
+    Obs,
+    Series,
+    VtHistogram,
+    validate_snapshot,
+)
+
+__all__ = [
+    "Obs",
+    "Counter",
+    "Gauge",
+    "Distribution",
+    "VtHistogram",
+    "Series",
+    "NULL_INSTRUMENT",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_SERIES",
+    "NULL_DISTRIBUTION",
+    "SNAPSHOT_SCHEMA",
+    "validate_snapshot",
+    "SimProfiler",
+    "ProcStat",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_serve_trace",
+    "serve_counter_events",
+    "obs_counter_events",
+    "obs_instant_events",
+]

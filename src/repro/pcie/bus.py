@@ -38,7 +38,7 @@ class PcieBus:
     """Full-duplex PCIe link with one DMA engine per direction."""
 
     def __init__(self, engine: Engine, timing: TimingModel,
-                 coalesce: bool = False, faults=None) -> None:
+                 coalesce: bool = False, faults=None, obs=None) -> None:
         self.engine = engine
         self.timing = timing
         #: merge back-to-back same-direction transactions (off by
@@ -47,6 +47,23 @@ class PcieBus:
         #: optional :class:`repro.faults.FaultInjector`; hook points
         #: below draw ``pcie.drop`` / ``pcie.dup`` / ``pcie.delay``.
         self.faults = faults
+        #: optional :class:`repro.obs.Obs`: per-direction byte and
+        #: transaction counters plus DMA-queue-wait distributions.
+        #: ``None`` (the default) costs nothing beyond this attribute.
+        self.obs = obs
+        if obs is not None:
+            self._obs_bytes = {
+                d: obs.counter(f"pcie.{d.name.lower()}.bytes")
+                for d in Direction
+            }
+            self._obs_txns = {
+                d: obs.counter(f"pcie.{d.name.lower()}.transactions")
+                for d in Direction
+            }
+            self._obs_wait = {
+                d: obs.distribution(f"pcie.{d.name.lower()}.queue_wait_ns")
+                for d in Direction
+            }
         self._engines = {
             Direction.H2D: FifoResource(engine, 1, "pcie.h2d"),
             Direction.D2H: FifoResource(engine, 1, "pcie.d2h"),
@@ -84,7 +101,11 @@ class PcieBus:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         dma = self._engines[direction]
+        obs = self.obs
+        queued_at = self.engine.now if obs is not None else 0.0
         yield dma.acquire()
+        if obs is not None:
+            self._obs_wait[direction].record(self.engine.now - queued_at)
         duration = nbytes / self.timing.pcie_bandwidth_bpns
         if self.coalesce and self._last_end[direction] == self.engine.now:
             # the engine never went idle between the predecessor and
@@ -115,6 +136,9 @@ class PcieBus:
         dma.release()
         self.bytes_moved[direction] += nbytes
         self.transactions[direction] += 1
+        if obs is not None:
+            self._obs_bytes[direction].inc(nbytes)
+            self._obs_txns[direction].inc()
         self.recorder.sample(
             f"transfer.{direction.value}", self.engine.now, float(nbytes)
         )

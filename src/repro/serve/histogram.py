@@ -96,14 +96,30 @@ class LatencyHistogram:
         """Mean of the recorded samples (0.0 when empty)."""
         return self.sum / self.total if self.total else 0.0
 
+    #: rank math resolution: percentiles are exact to 1e-7 of a point
+    #: (p99.9999999 still distinct from p100) while staying in integers.
+    _PCT_SCALE = 10 ** 7
+
+    def _rank(self, pct: float) -> int:
+        """Nearest-rank target for ``pct``, in exact integer arithmetic.
+
+        ``pct`` is scaled to an integer fraction *before* any product,
+        so the ceil never operates on an already-truncated float: the
+        seed's ``int(pct * total)`` chopped the fractional part ahead
+        of the ceil-divide and reported boundary percentiles one rank
+        low (e.g. p99.9 of 995 samples -> rank 994 instead of 995).
+        """
+        if not 0 <= pct <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        scaled = round(pct * self._PCT_SCALE)
+        return max(1, -(-(scaled * self.total) // (100 * self._PCT_SCALE)))
+
     def percentile(self, pct: float) -> int:
         """Value (ns) at the given percentile, upper-bucket-edge
         convention; max relative error ``2**-precision_bits``."""
-        if not 0 <= pct <= 100:
-            raise ValueError("percentile must be in [0, 100]")
         if self.total == 0:
             raise ValueError("empty histogram")
-        target = max(1, -(-int(pct * self.total) // 100))  # ceil
+        target = self._rank(pct)
         cumulative = 0
         for idx in sorted(self.counts):
             cumulative += self.counts[idx]
@@ -111,23 +127,48 @@ class LatencyHistogram:
                 # never report past the true maximum (the top bucket's
                 # upper edge can exceed it)
                 return min(self._bucket_high(idx), self.max_value)
-        return self.max_value  # pct == 100 with rounding slack
+        return self.max_value  # unreachable: rank <= total
 
     def percentiles(self, pcts: Iterable[float]) -> List[Tuple[float, int]]:
-        """Batch percentile read (single cumulative walk)."""
-        return [(p, self.percentile(p)) for p in pcts]
+        """Batch percentile read in ONE cumulative walk.
+
+        Results match :meth:`percentile` exactly (asserted by the test
+        suite) but the sorted bucket array is traversed once for the
+        whole batch instead of once per entry.
+        """
+        pcts = list(pcts)
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        # ranks are monotone in pct, but the *input* order is the
+        # caller's: resolve in rank order, answer in input order
+        targets = sorted((self._rank(p), i) for i, p in enumerate(pcts))
+        out: List[int] = [0] * len(pcts)
+        k = 0
+        cumulative = 0
+        for idx in sorted(self.counts):
+            if k == len(targets):
+                break
+            cumulative += self.counts[idx]
+            value = None
+            while k < len(targets) and cumulative >= targets[k][0]:
+                if value is None:
+                    value = min(self._bucket_high(idx), self.max_value)
+                out[targets[k][1]] = value
+                k += 1
+        return [(p, out[i]) for i, p in enumerate(pcts)]
 
     def summary_us(self) -> Dict[str, float]:
         """The report-facing digest, in microseconds."""
         if self.total == 0:
             return {"count": 0}
+        tail = dict(self.percentiles((50, 95, 99, 99.9)))
         return {
             "count": self.total,
             "mean": round(self.mean / 1e3, 3),
             "min": round(self.min_value / 1e3, 3),
             "max": round(self.max_value / 1e3, 3),
-            "p50": round(self.percentile(50) / 1e3, 3),
-            "p95": round(self.percentile(95) / 1e3, 3),
-            "p99": round(self.percentile(99) / 1e3, 3),
-            "p99.9": round(self.percentile(99.9) / 1e3, 3),
+            "p50": round(tail[50] / 1e3, 3),
+            "p95": round(tail[95] / 1e3, 3),
+            "p99": round(tail[99] / 1e3, 3),
+            "p99.9": round(tail[99.9] / 1e3, 3),
         }

@@ -208,6 +208,20 @@ class TaskServer:
         self.queue = IngressQueue(self.tenants,
                                   fair=self.policy.fair_dequeue)
 
+        #: optional :class:`repro.obs.Obs`, inherited from the pagoda
+        #: config so one context spans the whole stack.  The report
+        #: stays byte-identical either way; obs data rides separately.
+        self.obs = self.config.pagoda.obs
+        if self.obs is not None:
+            obs = self.obs
+            self._obs_offered = obs.counter("serve.offered")
+            self._obs_admitted = obs.counter("serve.admitted")
+            self._obs_dropped = obs.counter("serve.dropped")
+            self._obs_completed = obs.counter("serve.completed")
+            self._obs_failed = obs.counter("serve.failed")
+            self._obs_queue = obs.timeline("serve.queue_depth")
+            self._obs_inflight = obs.timeline("serve.inflight")
+
         #: every request ever created, in global arrival order.
         self.requests: List[Request] = []
         self.offered = 0
@@ -256,6 +270,9 @@ class TaskServer:
             self.timeline[-1] = row
         else:
             self.timeline.append(row)
+        if self.obs is not None:
+            self._obs_queue.set(row[0], row[1])
+            self._obs_inflight.set(row[0], row[2])
 
     def _generators_done(self) -> bool:
         return not any(p.alive for p in self._gen_procs)
@@ -277,6 +294,8 @@ class TaskServer:
         self.requests.append(req)
         self.offered += 1
         self.tenant_stats[tenant.name]["offered"] += 1
+        if self.obs is not None:
+            self._obs_offered.inc()
         return req
 
     def _offer(self, req: Request) -> Generator:
@@ -289,6 +308,8 @@ class TaskServer:
                 req.status = "queued"
                 self.admitted += 1
                 self.queue.append(req)
+                if self.obs is not None:
+                    self._obs_admitted.inc()
                 self._sample()
                 self._work.pulse()
                 return
@@ -296,6 +317,10 @@ class TaskServer:
                 req.status = "dropped"
                 self.dropped += 1
                 self.tenant_stats[req.tenant]["dropped"] += 1
+                if self.obs is not None:
+                    self._obs_dropped.inc()
+                    self.obs.instant("serve", "drop", self.engine.now,
+                                     tenant=req.tenant, index=req.index)
                 self._sample()
                 req.done.fire(None)
                 return
@@ -414,10 +439,14 @@ class TaskServer:
                 r.status = "failed"
                 self.failed += 1
                 self.tenant_stats[r.tenant]["failed"] += 1
+                if self.obs is not None:
+                    self._obs_failed.inc()
             else:
                 r.status = "done"
                 self.completed += 1
                 self.tenant_stats[r.tenant]["completed"] += 1
+                if self.obs is not None:
+                    self._obs_completed.inc()
                 self._record_latency(r)
             r.done.fire(r)
         self._sample()

@@ -213,6 +213,12 @@ class Engine:
         #: every live process (for the deadlock reporter).
         self._live: set = set()
         self.event_count = 0
+        #: optional :class:`repro.obs.SimProfiler`.  When attached,
+        #: :meth:`spawn` wraps each process in the profiler's
+        #: pass-through generator (per-process event and virtual-time
+        #: tallies); when ``None`` — the default — spawn pays one
+        #: ``is None`` test and the run loop is untouched.
+        self.profiler = None
 
     # -- low-level scheduling -------------------------------------------------
 
@@ -237,6 +243,9 @@ class Engine:
         that are *expected* to still be blocked when the queue drains;
         the deadlock reporter ignores them.
         """
+        if self.profiler is not None:
+            name = name or getattr(gen, "__name__", "process")
+            gen = self.profiler.wrap(gen, name, self)
         proc = Process(self, gen, name, daemon)
         self._nlive += 1
         self._live.add(proc)

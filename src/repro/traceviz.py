@@ -1,9 +1,17 @@
-"""Export run results as Chrome trace-event JSON.
+"""Export run results as Chrome trace-event JSON (thin consumer).
 
 Load the output in ``chrome://tracing`` / Perfetto to see each task's
 spawn-to-schedule queueing and execution span — the visual version of
 Fig. 10's latency story.  Works on the :class:`~repro.tasks.RunStats`
 of any runtime in the reproduction.
+
+The event-building machinery lives in :mod:`repro.obs.perfetto`; this
+module keeps the historical entry points as re-exports.  The obs-aware
+variants (per-SMM utilization counter tracks, scheduler-decision
+instant events) are reached by passing an instrumented
+:class:`repro.obs.Obs` as the exporters' ``obs`` argument, or by
+importing :func:`repro.obs.obs_counter_events` /
+:func:`repro.obs.obs_instant_events` directly.
 
 Serving runs get extra rows: :func:`serve_counter_events` turns a
 :class:`~repro.serve.ServeReport`'s timeline into Chrome *counter*
@@ -14,118 +22,20 @@ one file.
 
 from __future__ import annotations
 
-import json
-import warnings
-from typing import Dict, List
+from repro.obs.perfetto import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_serve_trace,
+    obs_counter_events,
+    obs_instant_events,
+    serve_counter_events,
+)
 
-from repro.tasks import RunStats
-
-#: trace-event timestamps are microseconds
-_NS_PER_US = 1e3
-
-
-def chrome_trace_events(stats: RunStats, max_tasks: int = 2000) -> List[Dict]:
-    """Build trace events: one row per task, queueing + execution spans.
-
-    ``max_tasks`` caps output size for huge runs (the viewer chokes on
-    hundreds of thousands of rows); when the cap actually truncates,
-    a :class:`UserWarning` says how many tasks were dropped rather
-    than silently producing a partial trace.
-    """
-    if len(stats.results) > max_tasks:
-        warnings.warn(
-            f"trace truncated: {len(stats.results)} tasks, keeping the "
-            f"first {max_tasks} (raise max_tasks to keep more)",
-            stacklevel=2,
-        )
-    events: List[Dict] = [{
-        "name": "process_name",
-        "ph": "M",
-        "pid": 0,
-        "args": {"name": f"runtime: {stats.runtime}"},
-    }]
-    for res in stats.results[:max_tasks]:
-        tid = res.task_id
-        events.append({
-            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
-            "args": {"name": res.name},
-        })
-        if res.sched_time >= res.spawn_time > 0 or res.sched_time > 0:
-            events.append({
-                "name": "queued", "cat": "spawn", "ph": "X", "pid": 0,
-                "tid": tid,
-                "ts": res.spawn_time / _NS_PER_US,
-                "dur": max(res.sched_time - res.spawn_time, 0) / _NS_PER_US,
-                "args": {"task_id": res.task_id},
-            })
-        if res.end_time > res.start_time:
-            events.append({
-                "name": "exec", "cat": "gpu", "ph": "X", "pid": 0,
-                "tid": tid,
-                "ts": res.start_time / _NS_PER_US,
-                "dur": (res.end_time - res.start_time) / _NS_PER_US,
-                "args": {"latency_us": res.latency / _NS_PER_US},
-            })
-    return events
-
-
-def export_chrome_trace(stats: RunStats, path: str,
-                        max_tasks: int = 2000) -> int:
-    """Write the trace JSON; returns the number of events written."""
-    events = chrome_trace_events(stats, max_tasks)
-    with open(path, "w") as fh:
-        json.dump({"traceEvents": events,
-                   "displayTimeUnit": "ms"}, fh)
-    return len(events)
-
-
-# -- serving-run counters ------------------------------------------------------
-
-#: Chrome counter tracks run in their own (fake) process row so they
-#: group above the per-task spans in the viewer.
-_COUNTER_PID = 1
-
-
-def serve_counter_events(report) -> List[Dict]:
-    """Counter tracks from a :class:`~repro.serve.ServeReport` timeline.
-
-    Three tracks, sampled at every admission/dispatch/completion edge:
-    ingress queue depth, tasks in flight on the GPU(s), and the drop
-    rate (requests/s, finite-differenced between samples — cumulative
-    totals make a useless flat line in the viewer).
-    """
-    events: List[Dict] = [{
-        "name": "process_name", "ph": "M", "pid": _COUNTER_PID,
-        "args": {"name": f"serve: {report.label}"},
-    }]
-    prev_t = prev_drops = 0.0
-    for t_ns, depth, inflight, dropped, _finished in report.timeline:
-        ts = t_ns / _NS_PER_US
-        events.append({
-            "name": "ingress queue", "ph": "C", "pid": _COUNTER_PID,
-            "ts": ts, "args": {"depth": depth},
-        })
-        events.append({
-            "name": "in flight", "ph": "C", "pid": _COUNTER_PID,
-            "ts": ts, "args": {"tasks": inflight},
-        })
-        dt_ns = t_ns - prev_t
-        rate = (dropped - prev_drops) * 1e9 / dt_ns if dt_ns > 0 else 0.0
-        events.append({
-            "name": "drops/s", "ph": "C", "pid": _COUNTER_PID,
-            "ts": ts, "args": {"rate": round(rate, 3)},
-        })
-        prev_t, prev_drops = t_ns, dropped
-    return events
-
-
-def export_serve_trace(report, path: str, max_tasks: int = 2000) -> int:
-    """Write one trace for a serving run: the counter tracks plus the
-    usual per-request queueing/execution spans.  Returns the number of
-    events written."""
-    events = serve_counter_events(report)
-    events.extend(chrome_trace_events(report.run_stats(), max_tasks))
-    with open(path, "w") as fh:
-        json.dump({"traceEvents": events,
-                   "displayTimeUnit": "ms"}, fh)
-    return len(events)
+__all__ = [
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_serve_trace",
+    "serve_counter_events",
+    "obs_counter_events",
+    "obs_instant_events",
+]

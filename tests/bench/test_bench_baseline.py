@@ -73,6 +73,29 @@ def test_check_with_mismatched_baseline_recovers(
     assert fast_bench.load_baseline(out) == FAKE_RECORD["metrics"]
 
 
+def test_obs_ratio_excluded_from_throughput_comparison(tmp_path):
+    """obs_on_off_ratio has its own floor guard; a run-to-run swing in
+    the ratio must not trip the generic >20% throughput check."""
+    record = {"metrics": {"pagoda_tasks_per_s": 1000.0,
+                          "obs_on_off_ratio": 0.8}}
+    baseline = {"pagoda_tasks_per_s": 1000.0, "obs_on_off_ratio": 1.2}
+    assert bench.check_regression(record, baseline) == []
+
+
+def test_obs_overhead_floor_fails_check(fast_bench, tmp_path, monkeypatch,
+                                        capsys):
+    """A ratio below OBS_OVERHEAD_FLOOR fails --check (and only warns
+    with --no-fail), independent of the baseline comparison."""
+    slow = json.loads(json.dumps(FAKE_RECORD))
+    slow["metrics"]["obs_on_off_ratio"] = bench.OBS_OVERHEAD_FLOOR / 2
+    monkeypatch.setattr(bench, "measure",
+                        lambda: json.loads(json.dumps(slow)))
+    out = tmp_path / "BENCH.json"
+    assert bench.main(["--check", "--output", str(out)]) == 1
+    assert "obs_on_off_ratio" in capsys.readouterr().out
+    assert bench.main(["--check", "--no-fail", "--output", str(out)]) == 0
+
+
 def test_check_still_fails_on_genuine_regression(fast_bench, tmp_path):
     out = tmp_path / "BENCH.json"
     good = json.loads(json.dumps(FAKE_RECORD))

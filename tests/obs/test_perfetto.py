@@ -1,0 +1,113 @@
+"""Trace export with obs tracks: golden serve trace + per-SMM counters."""
+
+import json
+
+import pytest
+
+from repro.core import PagodaConfig, run_pagoda
+from repro.gpu.phases import Phase
+from repro.obs import (
+    Obs,
+    export_chrome_trace,
+    export_serve_trace,
+    obs_counter_events,
+    obs_instant_events,
+)
+from repro.serve import DeterministicArrivals, ServeConfig, TenantSpec, serve
+from repro.tasks import TaskSpec
+
+
+def kernel(task, block_id, warp_id):
+    yield Phase(inst=500)
+
+
+def _tenants(n=12, gap=0.0):
+    tasks = [TaskSpec(f"t{i}", 64, 1, kernel) for i in range(n)]
+    return [TenantSpec("a", tasks, DeterministicArrivals(gap))]
+
+
+@pytest.fixture(scope="module")
+def instrumented_serve(tmp_path_factory):
+    obs = Obs()
+    report = serve(_tenants(), ServeConfig(pagoda=PagodaConfig(obs=obs)))
+    path = tmp_path_factory.mktemp("trace") / "serve.json"
+    count = export_serve_trace(report, str(path), obs=obs)
+    data = json.loads(path.read_text())
+    assert len(data["traceEvents"]) == count
+    return obs, report, data["traceEvents"]
+
+
+def test_serve_trace_has_counter_tracks_and_spans(instrumented_serve):
+    _obs, report, events = instrumented_serve
+    names = {e["name"] for e in events}
+    assert {"ingress queue", "in flight", "drops/s"} <= names
+    assert {"queued", "exec"} <= names
+    assert report.completed == 12
+
+
+def test_zero_gap_arrivals_keep_their_queued_spans(instrumented_serve):
+    """All arrivals land at t=0 (zero-gap metronome): every completed
+    request must still show a queued span, the t=0 case the seed's
+    exporter dropped."""
+    _obs, report, events = instrumented_serve
+    queued = [e for e in events if e["name"] == "queued"]
+    assert len(queued) == report.completed
+    assert all(e["dur"] >= 0 for e in queued)
+
+
+def test_serve_trace_carries_per_smm_utilization_tracks(instrumented_serve):
+    obs, _report, events = instrumented_serve
+    counter_names = {e["name"] for e in events if e["ph"] == "C"}
+    assert "gpu.smm0.busy_warps" in counter_names
+    assert "serve.queue_depth" in counter_names
+    # every series that recorded samples surfaces as a track (idle
+    # SMMs have empty timelines and rightly produce no events)
+    sampled = {n for n, s in obs.series.items() if s.samples}
+    assert sampled and sampled <= counter_names
+
+
+def test_serve_trace_carries_scheduler_decision_instants(instrumented_serve):
+    _obs, _report, events = instrumented_serve
+    instants = [e for e in events if e["ph"] == "i"]
+    assert any(e["name"] == "schedule" for e in instants)
+    assert any(e["name"] == "task_done" for e in instants)
+    tracks = {e["cat"] for e in instants}
+    assert any(t.startswith("sched.mtb") for t in tracks)
+
+
+def test_obs_counter_events_are_time_ordered_per_track():
+    obs = Obs(profile=False)
+    s = obs.timeline("x")
+    for t in (0.0, 3.0, 7.0):
+        s.add(t, 1)
+    events = obs_counter_events(obs)
+    samples = [e for e in events if e["ph"] == "C"]
+    assert [e["ts"] for e in samples] == sorted(e["ts"] for e in samples)
+    assert [e["args"]["value"] for e in samples] == [1.0, 2.0, 3.0]
+
+
+def test_obs_instant_events_get_named_thread_rows():
+    obs = Obs(profile=False)
+    obs.instant("sched.mtb0", "defer", 100.0, task_id=7)
+    obs.span("sched.mtb1", "scan", 200.0, 50.0)
+    events = obs_instant_events(obs)
+    threads = {e["args"]["name"]: e["tid"] for e in events
+               if e["name"] == "thread_name"}
+    assert set(threads) == {"sched.mtb0", "sched.mtb1"}
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["tid"] == threads["sched.mtb1"]
+    assert span["dur"] == 0.05  # 50 ns in us
+
+
+def test_export_chrome_trace_appends_obs_tracks(tmp_path):
+    obs = Obs()
+    tasks = [TaskSpec(f"t{i}", 64, 1, kernel) for i in range(8)]
+    stats = run_pagoda(tasks, config=PagodaConfig(obs=obs))
+    plain = tmp_path / "plain.json"
+    rich = tmp_path / "rich.json"
+    n_plain = export_chrome_trace(stats, str(plain))
+    n_rich = export_chrome_trace(stats, str(rich), obs=obs)
+    assert n_rich > n_plain
+    names = {e["name"]
+             for e in json.loads(rich.read_text())["traceEvents"]}
+    assert "gpu.smm0.busy_warps" in names

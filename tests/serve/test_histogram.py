@@ -8,9 +8,17 @@ from repro.serve import LatencyHistogram
 
 
 def oracle_percentile(values, pct):
-    """Nearest-rank percentile on the raw sorted values."""
+    """Nearest-rank percentile on the raw sorted values.
+
+    Scales pct to an exact integer fraction before the ceil-divide —
+    the same rank math as ``LatencyHistogram._rank``.  (The seed's
+    oracle did ``int(pct * n)`` first, truncating the fraction the
+    ceil exists to round up, so it shared the implementation's
+    off-by-one at boundary ranks and could not catch it.)
+    """
     ordered = sorted(values)
-    rank = max(1, -(-int(pct * len(ordered)) // 100))
+    scaled = round(pct * 10 ** 7)
+    rank = max(1, -(-(scaled * len(ordered)) // (100 * 10 ** 7)))
     return ordered[rank - 1]
 
 
@@ -84,6 +92,88 @@ def test_summary_us_is_rounded_microseconds():
     # JSON depends on this)
     for value in summary.values():
         assert value == round(value, 3)
+
+
+def test_boundary_rank_not_truncated():
+    """Regression: ``int(pct * total)`` truncated before the
+    ceil-divide, so p99.9 of 995 samples returned rank 994 (value 994)
+    instead of rank 995 (value 995).  995 * 99.9 = 99400.5: the
+    fractional half-rank is exactly what the ceil must round up."""
+    hist = LatencyHistogram(precision_bits=10)
+    values = list(range(1, 996))  # 995 samples, all in exact buckets
+    for v in values:
+        hist.record(v)
+    assert hist.percentile(99.9) == 995
+    assert hist.percentile(99.9) == oracle_percentile(values, 99.9)
+
+
+@pytest.mark.parametrize("total", [1, 2, 3, 7, 100, 101, 995, 1000])
+def test_exact_ranks_sweep_small_populations(total):
+    """Every percentile in a fine sweep must match the exact oracle
+    when all samples sit in unit buckets (no bucketing error, so any
+    difference is rank math)."""
+    values = list(range(1, total + 1))
+    hist = LatencyHistogram(precision_bits=10)
+    for v in values:
+        hist.record(v)
+    pcts = [0, 0.1, 25, 50, 75, 90, 99, 99.9, 99.99, 100]
+    for pct in pcts:
+        assert hist.percentile(pct) == oracle_percentile(values, pct), pct
+
+
+def test_percentile_endpoints():
+    hist = LatencyHistogram()
+    for v in (10, 20, 30):
+        hist.record(v)
+    assert hist.percentile(0) == 10  # rank clamps up to 1 -> min
+    assert hist.percentile(100) == 30
+    with pytest.raises(ValueError):
+        hist.percentile(-0.1)
+    with pytest.raises(ValueError):
+        hist.percentile(100.1)
+
+
+def test_batch_percentiles_match_per_call_path():
+    """``percentiles()`` must agree with ``percentile()`` for every
+    entry — unsorted input order, duplicates, and endpoints included —
+    while walking the buckets once."""
+    rng = random.Random(7)
+    hist = LatencyHistogram(precision_bits=10)
+    for _ in range(4_000):
+        hist.record(rng.randrange(1, 50_000_000))
+    pcts = [99.9, 0, 50, 99, 50, 100, 12.5, 99.99, 0.1]
+    batch = hist.percentiles(pcts)
+    assert [p for p, _ in batch] == pcts  # input order preserved
+    for pct, value in batch:
+        assert value == hist.percentile(pct), pct
+
+
+def test_batch_percentiles_empty_raises():
+    with pytest.raises(ValueError):
+        LatencyHistogram().percentiles((50, 99))
+
+
+class _IterCountingDict(dict):
+    """Counts whole-dict iterations (each ``sorted(counts)`` is one)."""
+
+    iterations = 0
+
+    def __iter__(self):
+        type(self).iterations += 1
+        return super().__iter__()
+
+
+def test_batch_percentiles_walk_buckets_once():
+    """Regression: the seed's ``percentiles()`` docstring promised a
+    single cumulative walk but the body called ``percentile()`` per
+    entry, re-sorting and re-walking the buckets every time."""
+    hist = LatencyHistogram()
+    for v in (100, 200, 300, 400, 500):
+        hist.record(v)
+    hist.counts = _IterCountingDict(hist.counts)
+    _IterCountingDict.iterations = 0
+    hist.percentiles((50, 90, 99, 99.9))
+    assert _IterCountingDict.iterations == 1
 
 
 def test_relative_error_bound_holds_across_magnitudes():

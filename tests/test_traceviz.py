@@ -40,6 +40,32 @@ def test_queued_span_measures_spawn_to_sched():
     assert queued["dur"] == 0.05
 
 
+def test_t0_task_gets_zero_duration_queued_span():
+    """Regression: a task spawned at t=0 and scheduled at t=0 *was*
+    queued (for zero time); the seed's predicate dropped its span,
+    making t=0 tasks look like they skipped the queue entirely."""
+    results = [TaskResult(0, "t0", spawn_time=0.0, sched_time=0.0,
+                          start_time=5.0, end_time=105.0)]
+    stats = RunStats(runtime="pagoda", makespan=105.0, results=results)
+    events = chrome_trace_events(stats)
+    queued = [e for e in events if e["name"] == "queued"]
+    assert len(queued) == 1
+    assert queued[0]["ts"] == 0.0
+    assert queued[0]["dur"] == 0.0
+
+
+def test_unscheduled_task_emits_no_queued_span():
+    """A record whose sched_time precedes spawn_time never got a real
+    scheduling stamp (e.g. the default 0.0 on a task that died first);
+    no span beats a negative- or clamp-faked one."""
+    results = [TaskResult(0, "dead", spawn_time=300.0, sched_time=0.0,
+                          start_time=0.0, end_time=0.0)]
+    stats = RunStats(runtime="pagoda", makespan=300.0, results=results)
+    events = chrome_trace_events(stats)
+    assert not [e for e in events if e["name"] == "queued"]
+    assert not [e for e in events if e["name"] == "exec"]
+
+
 def test_max_tasks_caps_output_and_warns():
     with pytest.warns(UserWarning, match="trace truncated: 10 tasks"):
         events = chrome_trace_events(make_stats(10), max_tasks=2)
