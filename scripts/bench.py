@@ -3,9 +3,12 @@
 
 Runs the hot-path scenarios of ``benchmarks/test_simulator_throughput.py``
 (engine ping-pong, processor-sharing churn, end-to-end Pagoda stack),
-microbenchmarks of the indexed runtime structures (scheduler dirty-row
-wakes, WarpTable dispatch/retire), the serving frontend end-to-end
-(arrivals through latency accounting), plus a small Fig. 5 slice, and
+the wide-fan lane comparison (the same many-tickers scenario on the
+default and fast engine lanes; their ratio is ``engine_lane_speedup``,
+guarded by an absolute >=2x floor), microbenchmarks of the indexed
+runtime structures (scheduler dirty-row wakes, WarpTable
+dispatch/retire), the serving frontend end-to-end (arrivals through
+latency accounting), plus a small Fig. 5 slice on each lane, and
 writes ``BENCH_simcore.json`` at the repo root so every PR leaves a
 perf data point behind.
 
@@ -25,6 +28,8 @@ Usage::
     python scripts/bench.py             # measure, check, rewrite JSON
     python scripts/bench.py --no-fail   # never exit non-zero
     python scripts/bench.py --check     # compare without rewriting
+    python scripts/bench.py --json      # machine-readable record on
+                                        # stdout, human output on stderr
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -54,6 +60,34 @@ FIG5_SLICE_TASKS = 48
 #: Obs context ever costs more than 4x it stopped being "observability"
 #: and became the workload.
 OBS_OVERHEAD_FLOOR = 0.25
+#: hard floor on the fast-lane/default-lane throughput ratio of the
+#: wide-fan scenario (the regime the batch drain exists for): if the
+#: fast lane stops paying at least 2x on its home turf it has become
+#: dead weight and the guard should say so.
+LANE_SPEEDUP_FLOOR = 2.0
+#: wide-fan scenario shape: many identical tickers colliding on every
+#: instant -> FAN_TICKERS * FAN_TICKS timer events per run.
+FAN_TICKERS = 64
+FAN_TICKS = 3_125
+
+
+def clean_subprocess_env(base=None):
+    """A copy of the environment with conda's config chatter silenced.
+
+    conda-wrapped pythons print ``WARNING conda... condarc`` diagnostics
+    on *stdout* when a user-level ``.condarc`` is unreadable or
+    malformed; launched as a subprocess, that noise interleaves with
+    the ``--json`` record and breaks downstream parsers.  Pointing
+    ``CONDARC`` at the null device sidesteps the user config entirely,
+    and the prompt/shell-hook variables (which re-trigger activation
+    chatter) are dropped.  ``CONDA_PREFIX``/``PATH`` are kept so the
+    child still resolves the same interpreter.
+    """
+    env = dict(os.environ if base is None else base)
+    env["CONDARC"] = os.devnull
+    for noisy in ("CONDA_PROMPT_MODIFIER", "CONDA_SHLVL", "PROMPT"):
+        env.pop(noisy, None)
+    return env
 
 #: Seed-commit throughputs measured on the machine that recorded the
 #: first BENCH_simcore.json (best-of-run minima of the pytest-benchmark
@@ -99,6 +133,32 @@ def bench_engine_events(repeats: int = 5):
                 yield 1.0
 
         eng.spawn(ticker())
+        eng.run()
+        return eng.event_count
+
+    events, wall = _best_of(run, repeats)
+    return events / wall, wall
+
+
+def bench_engine_fan(lane: str, repeats: int = 5):
+    """Wide fan of identical tickers -> events/s on the chosen lane.
+
+    Every instant carries ``FAN_TICKERS`` simultaneous timer firings —
+    the same-timestamp regime the fast lane's batch drain targets.  The
+    scenario is run on both lanes with identical inputs; the ratio is
+    the ``engine_lane_speedup`` guard metric (a like-for-like compare,
+    unlike ``engine_events_per_s`` whose single-ticker ping-pong never
+    forms a batch).
+    """
+    def run():
+        eng = Engine(lane=lane)
+
+        def ticker():
+            for _ in range(FAN_TICKS):
+                yield 1.0
+
+        for _ in range(FAN_TICKERS):
+            eng.spawn(ticker())
         eng.run()
         return eng.event_count
 
@@ -254,15 +314,18 @@ def bench_serve_stack(repeats: int = 3):
     return completed / wall, wall
 
 
-def bench_fig5_slice(repeats: int = 1):
+def bench_fig5_slice(repeats: int = 1, lane: str = "default"):
     """Small Fig. 5 slice: full multi-runtime sweep wall time."""
-    _, wall = _best_of(lambda: fig5.run(num_tasks=FIG5_SLICE_TASKS), repeats)
+    _, wall = _best_of(
+        lambda: fig5.run(num_tasks=FIG5_SLICE_TASKS, lane=lane), repeats)
     return wall
 
 
 def measure() -> dict:
     """Run every scenario and assemble the record."""
     events_per_s, events_wall = bench_engine_events()
+    fan_per_s, fan_wall = bench_engine_fan("default")
+    fast_per_s, fast_wall = bench_engine_fan("fast")
     jobs_per_s, ps_wall = bench_ps_churn()
     tasks_per_s, pagoda_wall = bench_pagoda_stack()
     obs_tasks_per_s, obs_wall, stats_snapshot = bench_obs_overhead()
@@ -270,8 +333,12 @@ def measure() -> dict:
     warp_ops_per_s, warp_wall = bench_warptable_churn()
     serve_per_s, serve_wall = bench_serve_stack()
     fig5_wall = bench_fig5_slice()
+    fig5_fast_wall = bench_fig5_slice(lane="fast")
     metrics = {
         "engine_events_per_s": round(events_per_s, 1),
+        "engine_events_per_s_fan": round(fan_per_s, 1),
+        "engine_events_per_s_fast": round(fast_per_s, 1),
+        "engine_lane_speedup": round(fast_per_s / fan_per_s, 2),
         "ps_jobs_per_s": round(jobs_per_s, 1),
         "pagoda_tasks_per_s": round(tasks_per_s, 1),
         "pagoda_tasks_per_s_obs": round(obs_tasks_per_s, 1),
@@ -284,6 +351,8 @@ def measure() -> dict:
         "metrics": metrics,
         "wall_s": {
             "engine_ping_pong": round(events_wall, 4),
+            "engine_fan_default": round(fan_wall, 4),
+            "engine_fan_fast": round(fast_wall, 4),
             "ps_churn": round(ps_wall, 4),
             "pagoda_stack": round(pagoda_wall, 4),
             "pagoda_stack_obs": round(obs_wall, 4),
@@ -291,6 +360,8 @@ def measure() -> dict:
             "warptable_churn": round(warp_wall, 4),
             "serve_stack": round(serve_wall, 4),
             f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
+            f"fig5_slice_fast_{FIG5_SLICE_TASKS}_tasks":
+                round(fig5_fast_wall, 2),
         },
         "stats_snapshot": stats_snapshot,
         # metrics introduced after the seed commit have no seed number
@@ -327,10 +398,11 @@ def load_baseline(baseline_path: pathlib.Path):
 
 
 # Guard metrics with their own dedicated checks (the obs overhead
-# ratio has a hard floor above) are excluded from the generic >20%
-# throughput comparison: a ratio of two noisy timings swings far more
-# run-to-run than either timing alone.
-_NON_THROUGHPUT_METRICS = frozenset({"obs_on_off_ratio"})
+# ratio and the lane speedup have hard floors above) are excluded from
+# the generic >20% throughput comparison: a ratio of two noisy timings
+# swings far more run-to-run than either timing alone.
+_NON_THROUGHPUT_METRICS = frozenset({"obs_on_off_ratio",
+                                     "engine_lane_speedup"})
 
 
 def check_regression(record: dict, baseline: dict) -> list:
@@ -356,25 +428,51 @@ def main(argv=None) -> int:
                         help="compare against the baseline without rewriting it")
     parser.add_argument("--output", type=pathlib.Path, default=OUTPUT,
                         help=f"record path (default: {OUTPUT})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the record as JSON on stdout; all "
+                             "human-readable output moves to stderr so "
+                             "the stream stays machine-parsable")
     args = parser.parse_args(argv)
 
+    if args.json:
+        def say(*a, **kw):
+            print(*a, file=sys.stderr, **kw)
+    else:
+        say = print
+
     record = measure()
+
+    def finish(rc: int) -> int:
+        if args.json:
+            print(json.dumps(record, indent=2))
+        return rc
+
     for key, value in record["metrics"].items():
         speedup = record["speedup_vs_seed"].get(key)
         vs_seed = f"({speedup:.2f}x vs seed)" if speedup else "(no seed ref)"
-        print(f"{key:>24}: {value:>14,.1f}  {vs_seed}")
+        say(f"{key:>24}: {value:>14,.1f}  {vs_seed}")
     for key, value in record["wall_s"].items():
-        print(f"{key:>24}: {value:>12.3f} s")
+        say(f"{key:>24}: {value:>12.3f} s")
 
     # the obs guard is absolute, not baseline-relative: instrumentation
     # overhead is a contract, so the floor applies from the first run
     ratio = record["metrics"].get("obs_on_off_ratio")
     if ratio is not None and ratio < OBS_OVERHEAD_FLOOR:
-        print(f"\nWARNING: obs_on_off_ratio {ratio:.3f} is below the "
-              f"{OBS_OVERHEAD_FLOOR} floor: observability costs more "
-              "than its budget")
+        say(f"\nWARNING: obs_on_off_ratio {ratio:.3f} is below the "
+            f"{OBS_OVERHEAD_FLOOR} floor: observability costs more "
+            "than its budget")
         if not args.no_fail:
-            return 1
+            return finish(1)
+
+    # likewise absolute: the fast lane's whole reason to exist is the
+    # wide-fan win, so the floor applies from the first run
+    lane_speedup = record["metrics"].get("engine_lane_speedup")
+    if lane_speedup is not None and lane_speedup < LANE_SPEEDUP_FLOOR:
+        say(f"\nWARNING: engine_lane_speedup {lane_speedup:.2f}x is "
+            f"below the {LANE_SPEEDUP_FLOOR}x floor: the fast lane "
+            "stopped paying for itself on the wide-fan scenario")
+        if not args.no_fail:
+            return finish(1)
 
     baseline = load_baseline(args.output)
     if baseline is None:
@@ -382,26 +480,26 @@ def main(argv=None) -> int:
         # nothing comparable to guard against — record and succeed,
         # even under --check (a guard with no baseline must not fail)
         args.output.write_text(json.dumps(record, indent=2) + "\n")
-        print(f"no baseline, recording fresh: wrote {args.output}")
-        return 0
+        say(f"no baseline, recording fresh: wrote {args.output}")
+        return finish(0)
 
     regressed = check_regression(record, baseline)
     if not args.check_only:
         args.output.write_text(json.dumps(record, indent=2) + "\n")
-        print(f"wrote {args.output}")
+        say(f"wrote {args.output}")
 
     if regressed:
-        print(f"\nWARNING: throughput regressed >"
-              f"{REGRESSION_TOLERANCE:.0%} vs committed baseline:")
+        say(f"\nWARNING: throughput regressed >"
+            f"{REGRESSION_TOLERANCE:.0%} vs committed baseline:")
         for key, old, new in regressed:
-            print(f"  {key}: {old:,.1f} -> {new:,.1f} "
-                  f"({new / old - 1.0:+.1%})")
+            say(f"  {key}: {old:,.1f} -> {new:,.1f} "
+                f"({new / old - 1.0:+.1%})")
         if not args.no_fail:
-            return 1
+            return finish(1)
     else:
-        print("perf check ok: no metric regressed "
-              f">{REGRESSION_TOLERANCE:.0%} vs baseline")
-    return 0
+        say("perf check ok: no metric regressed "
+            f">{REGRESSION_TOLERANCE:.0%} vs baseline")
+    return finish(0)
 
 
 if __name__ == "__main__":

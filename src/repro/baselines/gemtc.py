@@ -51,6 +51,8 @@ class GemtcConfig:
     copy_outputs: bool = True
     spawn_gap_ns: float = 0.0
     functional: bool = False
+    #: engine lane ("default" or "fast"; see PagodaConfig.lane)
+    lane: str = "default"
 
 
 class _GemtcDevice:
@@ -141,7 +143,7 @@ def run_gemtc(tasks: List[TaskSpec],
             raise ValueError(
                 f"GeMTC has no shared-memory support (task {task.name!r})"
             )
-    engine = Engine()
+    engine = Engine(lane=config.lane)
     gpu = Gpu(engine, spec or titan_x(), timing)
     bus = PcieBus(engine, timing)
     device = _GemtcDevice(engine, gpu, timing, config.worker_threads,

@@ -66,18 +66,21 @@ def make_tasks(workload: str, num_tasks: Optional[int] = None,
 
 def _run_pagoda(tasks, copies=True, **kw):
     return run_pagoda(tasks, config=PagodaConfig(
-        copy_inputs=copies, copy_outputs=copies))
+        copy_inputs=copies, copy_outputs=copies,
+        lane=kw.get("lane", "default")))
 
 
 def _run_pagoda_batching(tasks, copies=True, **kw):
     batch = kw.get("batch_size", 384)
     return run_pagoda(tasks, config=PagodaConfig(
-        copy_inputs=copies, copy_outputs=copies, batch_size=batch))
+        copy_inputs=copies, copy_outputs=copies, batch_size=batch,
+        lane=kw.get("lane", "default")))
 
 
 def _run_hyperq(tasks, copies=True, **kw):
     return run_hyperq(tasks, config=HyperQConfig(
-        copy_inputs=copies, copy_outputs=copies))
+        copy_inputs=copies, copy_outputs=copies,
+        lane=kw.get("lane", "default")))
 
 
 def _run_gemtc(tasks, copies=True, **kw):
@@ -85,21 +88,24 @@ def _run_gemtc(tasks, copies=True, **kw):
     return run_gemtc(tasks, config=GemtcConfig(
         worker_threads=max(64, worker_threads),
         batch_size=kw.get("batch_size"),
-        copy_inputs=copies, copy_outputs=copies))
+        copy_inputs=copies, copy_outputs=copies,
+        lane=kw.get("lane", "default")))
 
 
 def _run_fusion(tasks, copies=True, **kw):
     fused_threads = kw.get("fused_threads", 256)
     return run_static_fusion(tasks, fused_threads=fused_threads,
-                             copy_inputs=copies, copy_outputs=copies)
+                             copy_inputs=copies, copy_outputs=copies,
+                             lane=kw.get("lane", "default"))
 
 
 def _run_pthreads(tasks, copies=True, **kw):
-    return run_pthreads(tasks, num_cores=PTHREADS_CORES)
+    return run_pthreads(tasks, num_cores=PTHREADS_CORES,
+                        lane=kw.get("lane", "default"))
 
 
 def _run_sequential(tasks, copies=True, **kw):
-    return run_sequential(tasks)
+    return run_sequential(tasks, lane=kw.get("lane", "default"))
 
 
 RUNTIMES: Dict[str, Callable[..., RunStats]] = {

@@ -1,0 +1,252 @@
+"""``repro.bench`` "lanes" experiment — the fast-lane differential.
+
+Not a figure from the paper: this cell is the runtime half of the
+fast-lane equivalence argument (docs/INTERNALS.md §10).  It runs the
+same workloads on ``Engine(lane="fast")`` and ``Engine(lane="default")``
+— plus the frozen seed core in :mod:`repro.sim.reference` for the
+engine-level soup — and *asserts* byte-identity of every comparable
+artifact before reporting throughput:
+
+- an engine "soup" exercising every yield-command type, traced on the
+  default lane, the fast lane, and the reference engine;
+- end-to-end golden cells (workload, runtime, seed) fingerprinted on
+  both lanes;
+- seeded hostile mixes, with and without an active
+  :class:`repro.faults.FaultPlan`;
+- one SLO-serving trace byte-compared via ``report.to_json()``;
+- a same-timestamp-heavy microbenchmark timed on both lanes (the
+  number ``scripts/bench.py`` tracks as ``engine_lane_speedup``).
+
+The full corpus (more seeds, obs snapshots, hypothesis cases) lives in
+``tests/differential/``; this cell is the operational smoke that runs
+wherever the bench CLI runs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Optional
+
+from repro.bench.harness import make_tasks, run_tasks
+from repro.core import PagodaConfig, run_pagoda
+from repro.faults import FaultPlan
+from repro.gpu.phases import Phase
+from repro.sim import Delay, Engine, Event
+from repro.sim.reference import ReferenceEngine
+from repro.tasks import TaskSpec
+
+#: (workload, runtime, seed) end-to-end cells compared across lanes.
+GOLDEN_CELLS = (
+    ("mpe", "pagoda", 5),
+    ("mb", "hyperq", 3),
+    ("conv", "gemtc", 2),
+    ("mm", "pagoda", 13),
+)
+
+#: seeds for the hostile-mix sweep (the CI job runs 25+; this cell
+#: keeps the bench run quick).
+CHAOS_SEEDS = range(6)
+
+
+def _fingerprint(stats) -> tuple:
+    return (
+        stats.makespan,
+        stats.copy_time,
+        tuple((r.spawn_time, r.sched_time, r.start_time, r.end_time)
+              for r in sorted(stats.results, key=lambda r: r.name)),
+    )
+
+
+def _engine_soup(engine_cls) -> tuple:
+    """Every engine command type in one pot; returns (trace, end, count)."""
+    rng = random.Random(20170204)
+    plan = [
+        [round(rng.uniform(0.1, 5.0), 3) for _ in range(rng.randrange(1, 6))]
+        for _ in range(12)
+    ]
+    eng = engine_cls()
+    trace = []
+    gate = Event()
+
+    def sleeper(i, delays):
+        for j, d in enumerate(delays):
+            if j % 3 == 2:
+                yield Delay(d)
+            elif j % 3 == 1:
+                yield max(1, int(round(d)))
+            else:
+                yield d
+            trace.append((eng.now, "tick", i, j))
+        return i * 10
+
+    def joiner(i, target):
+        value = yield target
+        trace.append((eng.now, "joined", i, value))
+        woke = yield gate
+        trace.append((eng.now, "gated", i, woke))
+
+    def firer():
+        yield 7.5
+        trace.append((eng.now, "fire"))
+        gate.fire("open")
+
+    def timed():
+        value = yield eng.timeout(2.5, "t")
+        trace.append((eng.now, "timeout", value))
+
+    sleepers = [eng.spawn(sleeper(i, d), name=f"s{i}")
+                for i, d in enumerate(plan)]
+    for i, proc in enumerate(sleepers[:4]):
+        eng.spawn(joiner(i, proc), name=f"j{i}")
+    eng.spawn(firer(), name="firer")
+    eng.spawn(timed(), name="timed")
+    end = eng.run()
+    return tuple(trace), end, eng.event_count
+
+
+def _chaos_tasks(seed: int, count: int = 16):
+    """A seeded hostile mix (plain / synchronizing / shared-memory)."""
+    from repro.gpu.phases import BLOCK_SYNC
+
+    def const_kernel(inst):
+        def kernel(task, block_id, warp_id):
+            yield Phase(inst=float(inst))
+        return kernel
+
+    def sync_kernel(task, block_id, warp_id):
+        for _ in range(2):
+            yield Phase(inst=400.0 * (warp_id + 1))
+            yield BLOCK_SYNC
+        yield Phase(inst=100.0)
+
+    rng = random.Random(seed * 7919 + 11)
+    tasks = []
+    for i in range(count):
+        kind = i % 3
+        if kind == 0:
+            tasks.append(TaskSpec(
+                f"plain{i}", 32 * rng.randrange(1, 7), 1,
+                const_kernel(rng.randrange(500, 6000))))
+        elif kind == 1:
+            tasks.append(TaskSpec(f"sync{i}", 96, 2, sync_kernel,
+                                  needs_sync=True))
+        else:
+            tasks.append(TaskSpec(
+                f"smem{i}", 64, 1, const_kernel(rng.randrange(500, 4000)),
+                shared_mem_bytes=rng.choice([512, 2048, 8192])))
+    return tasks
+
+
+def _chaos_run(seed: int, lane: str, faulty: bool) -> tuple:
+    plan = None
+    watchdog = None
+    if faulty:
+        plan = FaultPlan.generate(seed=seed, n_faults=4,
+                                  horizon_ns=300_000.0, columns=48)
+        watchdog = 2_000_000.0 if plan.needs_watchdog() else None
+    stats = run_pagoda(_chaos_tasks(seed), config=PagodaConfig(
+        copy_inputs=False, copy_outputs=False, lane=lane,
+        fault_plan=plan, watchdog_deadline_ns=watchdog))
+    extra = ()
+    if faulty:
+        extra = (stats.meta.get("faults_injected"),
+                 stats.meta.get("tasks_failed"),
+                 tuple(sorted(stats.meta.get("task_errors", {}).items())))
+    return _fingerprint(stats) + extra
+
+
+def _serve_json(lane: str) -> str:
+    from repro.serve import PoissonArrivals, ServeConfig, SloClass, TenantSpec
+    from repro.serve import serve as serve_run
+
+    def kernel(task, block_id, warp_id):
+        yield Phase(inst=1500, mem_bytes=128)
+
+    tasks = [TaskSpec(f"t{i}", 128, 1, kernel) for i in range(60)]
+    tenants = [TenantSpec("svc", tasks, PoissonArrivals(150_000.0, seed=11),
+                          slo=SloClass("svc", deadline_ns=2.0e5))]
+    report = serve_run(tenants, ServeConfig(pagoda=PagodaConfig(lane=lane)))
+    return report.to_json()
+
+
+def _fan_events_per_s(lane: str, n_tickers: int = 64,
+                      events: int = 200_000) -> float:
+    """Events/s on a wide fan of same-period tickers (the
+    same-timestamp-heavy shape the fast lane targets)."""
+    eng = Engine(lane=lane)
+    per = events // n_tickers
+
+    def ticker():
+        for _ in range(per):
+            yield 1.0
+
+    for i in range(n_tickers):
+        eng.spawn(ticker(), name=f"t{i}")
+    start = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - start
+    return eng.event_count / wall
+
+
+def run(num_tasks: Optional[int] = None) -> Dict:
+    """Run the differential corpus; raises on any lane divergence."""
+    n = num_tasks if num_tasks is not None else 24
+
+    soup_default = _engine_soup(lambda: Engine(lane="default"))
+    soup_fast = _engine_soup(lambda: Engine(lane="fast"))
+    soup_ref = _engine_soup(ReferenceEngine)
+    if not (soup_default == soup_fast == soup_ref):
+        raise AssertionError("engine soup diverged across lanes")
+
+    golden = 0
+    for workload, runtime, seed in GOLDEN_CELLS:
+        tasks = make_tasks(workload, n, 128, seed=seed)
+        d = _fingerprint(run_tasks(tasks, runtime))
+        f = _fingerprint(run_tasks(tasks, runtime, lane="fast"))
+        if d != f:
+            raise AssertionError(
+                f"golden cell {(workload, runtime, seed)} diverged")
+        golden += 1
+
+    chaos = 0
+    for seed in CHAOS_SEEDS:
+        for faulty in (False, True):
+            d = _chaos_run(seed, "default", faulty)
+            f = _chaos_run(seed, "fast", faulty)
+            if d != f:
+                raise AssertionError(
+                    f"chaos seed {seed} (faulty={faulty}) diverged")
+            chaos += 1
+
+    if _serve_json("default") != _serve_json("fast"):
+        raise AssertionError("serve report diverged across lanes")
+
+    default_eps = _fan_events_per_s("default")
+    fast_eps = _fan_events_per_s("fast")
+    return {
+        "soup_events": soup_default[2],
+        "golden_cells": golden,
+        "chaos_runs": chaos,
+        "serve_identical": True,
+        "events_per_s_default": default_eps,
+        "events_per_s_fast": fast_eps,
+        "speedup": fast_eps / default_eps,
+    }
+
+
+def report(results: Dict) -> str:
+    lines = [
+        "LANES differential: fast lane vs default lane vs reference core",
+        f"  engine soup          identical across 3 cores "
+        f"({results['soup_events']} events)",
+        f"  golden cells         {results['golden_cells']} byte-identical",
+        f"  chaos runs           {results['chaos_runs']} byte-identical "
+        "(incl. FaultPlan arms)",
+        "  serve report         byte-identical",
+        "",
+        f"  wide-fan throughput  default {results['events_per_s_default']:,.0f}"
+        f" ev/s  fast {results['events_per_s_fast']:,.0f} ev/s"
+        f"  ({results['speedup']:.2f}x)",
+    ]
+    return "\n".join(lines)

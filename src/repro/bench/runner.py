@@ -15,6 +15,7 @@ from repro.bench import (
     ablations,
     config_sweeps,
     fig5,
+    lanes,
     latency_under_load,
     obs_profile,
     priorities,
@@ -38,12 +39,13 @@ EXPERIMENTS = {
     "sweeps": config_sweeps,
     "serve_p99_under_load": serve_load,
     "obs": obs_profile,
+    "lanes": lanes,
 }
 
 #: experiments whose run() takes a num_tasks argument
 TASK_SIZED = {"fig5", "fig7", "fig9", "fig11", "tab3", "tab5",
               "ablations", "load", "priorities", "sweeps",
-              "serve_p99_under_load", "obs"}
+              "serve_p99_under_load", "obs", "lanes"}
 
 
 def run_one(name: str, num_tasks: Optional[int]) -> str:

@@ -43,8 +43,8 @@ class MultiGpuPagoda:
                  config: Optional[PagodaConfig] = None) -> None:
         if num_gpus < 1:
             raise ValueError("num_gpus must be >= 1")
-        self.engine = Engine()
         self.config = config or PagodaConfig()
+        self.engine = Engine(lane=self.config.lane)
         self.sessions: List[PagodaSession] = [
             PagodaSession(spec, timing, self.config, engine=self.engine)
             for _ in range(num_gpus)

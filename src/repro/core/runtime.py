@@ -88,6 +88,11 @@ class PagodaConfig:
     #: and puts a ``stats_snapshot`` into ``RunStats.meta``.  ``None``
     #: (the default) leaves the run bit-identical and unslowed.
     obs: Optional[object] = None
+    #: engine lane: "default" (per-record heap pops) or "fast"
+    #: (same-timestamp batch drain).  Bit-identical schedules either
+    #: way (docs/INTERNALS.md §10); ignored when an explicit ``engine``
+    #: is handed to :class:`PagodaSession`.
+    lane: str = "default"
 
 
 class PagodaSession:
@@ -102,7 +107,7 @@ class PagodaSession:
         self.config = config or PagodaConfig()
         # a shared engine lets several sessions (e.g. one per GPU of a
         # multi-GPU node) advance on one simulated clock
-        self.engine = engine or Engine()
+        self.engine = engine or Engine(lane=self.config.lane)
         #: seeded fault injector shared by every layer (None when the
         #: config carries no fault plan).
         self.faults = None
@@ -113,6 +118,12 @@ class PagodaSession:
         self.obs = self.config.obs
         if self.obs is not None and getattr(self.obs, "profiler", None):
             self.engine.profiler = self.obs.profiler
+        if self.obs is not None:
+            # start the occupancy memo from a clean slate so the
+            # snapshot's hit/miss counters are per-run deterministic
+            # (the lru_caches are process-global otherwise)
+            from repro.gpu.occupancy import reset_memo_counters
+            reset_memo_counters()
         self.gpu = Gpu(self.engine, self.spec, self.timing, obs=self.obs)
         self.bus = PcieBus(self.engine, self.timing,
                            coalesce=self.config.pcie_coalesce,
@@ -279,6 +290,10 @@ def run_pagoda(tasks: List[TaskSpec],
             "quarantined_slots": sorted(table.quarantined),
         })
     if session.obs is not None:
+        from repro.gpu.occupancy import memo_stats
+        memo = memo_stats()
+        session.obs.counter("gpu.occupancy.memo_hits").inc(memo["hits"])
+        session.obs.counter("gpu.occupancy.memo_misses").inc(memo["misses"])
         meta["stats_snapshot"] = session.obs.snapshot(engine)
     return RunStats(
         runtime="pagoda" if not config.batch_size else "pagoda-batching",

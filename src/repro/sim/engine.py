@@ -38,6 +38,16 @@ Hot-path design (the fast paths that make paper-scale runs practical):
 - **Specialized run loops.**  ``run()`` with neither ``until`` nor
   ``max_events`` takes an unguarded loop body; the ``None`` checks are
   hoisted out so the common case pays nothing per event.
+- **Engine lanes.**  ``Engine(lane="fast")`` selects the batch-drain
+  fast lane: scheduled records are kept in per-timestamp *buckets*
+  (a dict keyed by ``when`` plus a heap of distinct timestamps), and
+  the run loop drains every record sharing the current instant into
+  one flat batch before dispatching.  Same-timestamp-heavy workloads
+  (sibling warps, wide task fans) pay O(1) dict ops per event instead
+  of O(log n) heap sifts.  Batches are dispatched in global
+  ``(when, seq)`` order, so schedules, clocks, and event counts are
+  bit-identical to the default lane (see docs/INTERNALS.md §10 and
+  ``tests/differential/``).
 """
 
 from __future__ import annotations
@@ -183,11 +193,22 @@ class Process:
         if type(command) is float:
             if command < 0.0:
                 raise ValueError(f"cannot schedule in the past: {command!r}")
-            engine._seq += 1
-            heapq.heappush(
-                engine._queue,
-                (engine.now + command, engine._seq, _RESUME, self, None),
-            )
+            engine._seq = seq = engine._seq + 1
+            if engine._fast:
+                when = engine.now + command
+                buckets = engine._buckets
+                b = buckets.get(when)
+                if b is None:
+                    buckets[when] = [(seq, _RESUME, self, None)]
+                    heapq.heappush(engine._times, when)
+                else:
+                    b.append((seq, _RESUME, self, None))
+                engine._nbucketed += 1
+            else:
+                heapq.heappush(
+                    engine._queue,
+                    (engine.now + command, seq, _RESUME, self, None),
+                )
         else:
             engine._dispatch_slow(self, command)
 
@@ -204,10 +225,31 @@ class Engine:
     itself is unit-agnostic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, lane: str = "default") -> None:
+        if lane not in ("default", "fast"):
+            raise ValueError(f"unknown engine lane: {lane!r}")
+        #: which run-loop implementation this engine uses: "default"
+        #: (per-record heap pops) or "fast" (same-timestamp batch
+        #: drain).  Both produce bit-identical schedules.
+        self.lane = lane
+        self._fast = lane == "fast"
         self.now: float = 0.0
         self._queue: list = []    # heap of (when, seq, kind, payload, value)
         self._ready: deque = deque()  # ring of (seq, kind, payload, value)
+        #: fast lane: scheduled records bucketed by timestamp —
+        #: ``when -> [(seq, kind, payload, value), ...]`` (each list is
+        #: seq-sorted by construction) plus a heap of the distinct
+        #: pending timestamps.  Unused (empty) on the default lane.
+        self._buckets: dict = {}
+        self._times: list = []
+        #: records currently parked in ``_buckets`` (0 on the default
+        #: lane); the profiler adds it to ``len(_queue)`` so queue-depth
+        #: sampling reads the same number on either lane.
+        self._nbucketed = 0
+        #: scheduled-origin records of an in-flight guarded batch not
+        #: yet dispatched (maintained only while a profiler is
+        #: attached; part of the same depth identity).
+        self._batch_sched_rem = 0
         self._seq = 0
         self._nlive = 0
         #: every live process (for the deadlock reporter).
@@ -226,8 +268,29 @@ class Engine:
         """Run ``fn()`` at absolute simulated time ``when``."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        self._push(when, _FN, fn, None)
+
+    def _push(self, when: float, kind: int, payload: Any, value: Any) -> None:
+        """Schedule one slotted record at ``when`` on the active lane.
+
+        The per-event hot paths (:meth:`Process.__call__`, the run
+        loops, ``ProcessorSharing``) inline this body instead of
+        calling it; every other scheduling site routes through here so
+        new event sources are lane-safe by construction.
+        """
         self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, _FN, fn, None))
+        if self._fast:
+            b = self._buckets.get(when)
+            if b is None:
+                self._buckets[when] = [(self._seq, kind, payload, value)]
+                heapq.heappush(self._times, when)
+            else:
+                b.append((self._seq, kind, payload, value))
+            self._nbucketed += 1
+        else:
+            heapq.heappush(
+                self._queue, (when, self._seq, kind, payload, value)
+            )
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` after ``delay`` simulated time units."""
@@ -273,17 +336,9 @@ class Engine:
             # int, bool, and float subclasses (e.g. numpy.float64)
             if command < 0:
                 raise ValueError(f"negative delay: {command!r}")
-            self._seq += 1
-            heapq.heappush(
-                self._queue,
-                (self.now + float(command), self._seq, _RESUME, proc, None),
-            )
+            self._push(self.now + float(command), _RESUME, proc, None)
         elif isinstance(command, Delay):
-            self._seq += 1
-            heapq.heappush(
-                self._queue,
-                (self.now + command.duration, self._seq, _RESUME, proc, None),
-            )
+            self._push(self.now + command.duration, _RESUME, proc, None)
         elif isinstance(command, Process):
             if command._done:
                 self._seq += 1
@@ -314,10 +369,19 @@ class Engine:
         truly drained, not when a bound stopped them early).
         """
         if until is None and max_events is None:
-            end = self._run_unguarded()
+            if not self._fast:
+                end = self._run_unguarded()
+            elif self.profiler is None:
+                end = self._run_fast()
+            else:
+                # profiled fast runs take the shared batch drain: it
+                # maintains the queue-depth bookkeeping the profiler
+                # samples, and profiling already dwarfs the loop cost
+                end = self._drain_guarded(None, None, False)
         else:
-            end = self._run_guarded(until, max_events)
-        if raise_on_deadlock and not self._queue and not self._ready:
+            end = self._drain_guarded(until, max_events, False)
+        if (raise_on_deadlock and not self._queue and not self._ready
+                and not self._times):
             self.check_deadlock()
         return end
 
@@ -335,7 +399,7 @@ class Engine:
     def check_deadlock(self) -> None:
         """Raise :class:`DeadlockError` if the drained queue stranded
         non-daemon processes (no-op while work is still scheduled)."""
-        if self._queue or self._ready:
+        if self._queue or self._ready or self._times:
             return
         blocked = self.blocked_processes()
         if blocked:
@@ -395,34 +459,212 @@ class Engine:
             self.event_count += count
         return self.now
 
-    def _run_guarded(self, until: Optional[float],
-                     max_events: Optional[int]) -> float:
-        """Loop body for bounded runs (``until``/``max_events`` given)."""
+    def _collect_due(self, now: float) -> Optional[list]:
+        """Pop every scheduled record due at ``now`` into one seq-sorted
+        list (``None`` when nothing scheduled is due).
+
+        Sources are the fast lane's bucket for the current instant and
+        the legacy heap (still fed by lane-unaware direct pushers);
+        both lanes share this assembly step in the guarded drain.
+        """
+        sched = None
+        times = self._times
+        if times and times[0] == now:
+            heapq.heappop(times)
+            sched = self._buckets.pop(now)
+            self._nbucketed -= len(sched)
         queue = self._queue
+        if queue and queue[0][0] <= now:
+            if sched is None:
+                sched = []
+            pop = heapq.heappop
+            while queue and queue[0][0] <= now:
+                rec = pop(queue)
+                sched.append((rec[1], rec[2], rec[3], rec[4]))
+            sched.sort()
+        return sched
+
+    def _next_instant(self) -> Optional[float]:
+        """Earliest pending scheduled timestamp, or ``None``."""
+        times = self._times
+        queue = self._queue
+        if times:
+            t = times[0]
+            if queue and queue[0][0] < t:
+                t = queue[0][0]
+            return t
+        if queue:
+            return queue[0][0]
+        return None
+
+    def _drain_guarded(self, until: Optional[float],
+                       max_events: Optional[int],
+                       stop_on_idle: bool) -> float:
+        """The shared bounded drain: one batch-at-a-time loop behind
+        ``run(until=..., max_events=...)``, profiled fast-lane runs,
+        and :meth:`run_until_idle_processes` (``stop_on_idle``).
+
+        Records sharing the current instant are assembled into one
+        seq-sorted batch (ring wakeups merged with due scheduled
+        records) and dispatched in order; when a bound stops the drain
+        mid-batch the unprocessed remainder is stashed at the *front*
+        of the ready ring — the remainder is due at the current
+        instant with sequence numbers below any live ring entry, so a
+        later drain resumes in exactly the original order.
+        """
         ready = self._ready
-        pop = heapq.heappop
-        step = self._step
+        now = self.now
+        count = 0
+        prof = self.profiler is not None
+        try:
+            while not stop_on_idle or self._nlive > 0:
+                # A clock already past ``until`` (bounded re-entry) must
+                # not dispatch scheduled work, matching the old per-pop
+                # ``when > until`` guard; ring records still drain.
+                sched = None
+                if until is None or now <= until:
+                    sched = self._collect_due(now)
+                if ready:
+                    batch = list(ready)
+                    ready.clear()
+                    if sched:
+                        batch += sched
+                        batch.sort()
+                elif sched is not None:
+                    batch = sched
+                else:
+                    t = self._next_instant()
+                    if t is None:
+                        break
+                    if until is not None and t > until:
+                        self.now = until
+                        break
+                    self.now = now = t
+                    continue
+                sched_seqs = ()
+                if prof and sched:
+                    sched_seqs = frozenset(rec[0] for rec in sched)
+                    self._batch_sched_rem = len(sched_seqs)
+                for i, rec in enumerate(batch):
+                    if stop_on_idle and self._nlive <= 0:
+                        ready.extendleft(reversed(batch[i:]))
+                        self._batch_sched_rem = 0
+                        return self.now
+                    if sched_seqs and rec[0] in sched_seqs:
+                        self._batch_sched_rem -= 1
+                    try:
+                        if rec[1]:
+                            rec[2](rec[3])
+                        else:
+                            rec[2]()
+                    except BaseException:
+                        # the raising event is not counted (matching the
+                        # historical guarded loop's post-dispatch count)
+                        ready.extendleft(reversed(batch[i + 1:]))
+                        self._batch_sched_rem = 0
+                        raise
+                    count += 1
+                    if max_events is not None and count >= max_events:
+                        ready.extendleft(reversed(batch[i + 1:]))
+                        self._batch_sched_rem = 0
+                        return self.now
+        finally:
+            self.event_count += count
+        return self.now
+
+    def _run_fast(self) -> float:
+        """Tight batch-drain loop for unbounded fast-lane runs.
+
+        Drains every record due at the current instant into one batch
+        and dispatches it with the process-resume body inlined (as in
+        :meth:`_run_unguarded`); the per-event cost of the dominant
+        same-timestamp case is a dict lookup and a list append instead
+        of two O(log n) heap sifts.
+        """
+        queue = self._queue      # legacy heap: lane-unaware pushers
+        ready = self._ready
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        slow = self._dispatch_slow
         now = self.now
         count = 0
         try:
-            while queue or ready:
-                if ready and not (
-                    queue and queue[0][0] <= now and queue[0][1] < ready[0][0]
-                ):
-                    _seq, kind, payload, value = ready.popleft()
+            while True:
+                # -- assemble the batch due at the current instant --
+                sched = None
+                if times and times[0] == now:
+                    heappop(times)
+                    sched = buckets.pop(now)
+                    self._nbucketed -= len(sched)
+                if queue and queue[0][0] <= now:
+                    if sched is None:
+                        sched = []
+                    while queue and queue[0][0] <= now:
+                        rec = heappop(queue)
+                        sched.append((rec[1], rec[2], rec[3], rec[4]))
+                    sched.sort()
+                if ready:
+                    batch = list(ready)
+                    ready.clear()
+                    if sched:
+                        batch += sched
+                        batch.sort()
+                elif sched is not None:
+                    batch = sched
                 else:
-                    if until is not None and queue[0][0] > until:
-                        self.now = until
+                    if times:
+                        t = times[0]
+                        if queue and queue[0][0] < t:
+                            t = queue[0][0]
+                    elif queue:
+                        t = queue[0][0]
+                    else:
                         break
-                    when, _seq, kind, payload, value = pop(queue)
-                    self.now = now = when
-                if kind:
-                    step(payload, value)
-                else:
-                    payload()
-                count += 1
-                if max_events is not None and count >= max_events:
-                    break
+                    self.now = now = t
+                    continue
+                # -- dispatch it (inlined resume fast path) --
+                try:
+                    for _s, kind, payload, value in batch:
+                        count += 1
+                        if kind:
+                            if payload.alive:
+                                try:
+                                    command = payload.gen.send(value)
+                                except StopIteration as stop:
+                                    self._nlive -= 1
+                                    payload._finish(stop.value)
+                                    continue
+                                if type(command) is float:
+                                    if command < 0.0:
+                                        raise ValueError(
+                                            "cannot schedule in the past: "
+                                            f"{command!r}"
+                                        )
+                                    self._seq = seq = self._seq + 1
+                                    when = now + command
+                                    b = buckets.get(when)
+                                    if b is None:
+                                        buckets[when] = [
+                                            (seq, _RESUME, payload, None)
+                                        ]
+                                        heappush(times, when)
+                                    else:
+                                        b.append((seq, _RESUME, payload, None))
+                                    self._nbucketed += 1
+                                else:
+                                    slow(payload, command)
+                        else:
+                            payload()
+                except BaseException:
+                    # preserve the undispatched remainder (everything
+                    # with a later seq than the raising record) exactly
+                    # as the default lane leaves it queued
+                    ready.extendleft(
+                        reversed([r for r in batch if r[0] > _s])
+                    )
+                    raise
         finally:
             self.event_count += count
         return self.now
@@ -434,32 +676,7 @@ class Engine:
         the queue empties naturally; this variant exists for workloads
         that keep re-arming timers.
         """
-        queue = self._queue
-        ready = self._ready
-        pop = heapq.heappop
-        step = self._step
-        now = self.now
-        count = 0
-        try:
-            while (queue or ready) and self._nlive > 0:
-                if ready and not (
-                    queue and queue[0][0] <= now and queue[0][1] < ready[0][0]
-                ):
-                    _seq, kind, payload, value = ready.popleft()
-                else:
-                    if until is not None and queue[0][0] > until:
-                        self.now = until
-                        break
-                    when, _seq, kind, payload, value = pop(queue)
-                    self.now = now = when
-                if kind:
-                    step(payload, value)
-                else:
-                    payload()
-                count += 1
-        finally:
-            self.event_count += count
-        return self.now
+        return self._drain_guarded(until, None, True)
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that fires after ``delay``; usable for sleep-with-value."""

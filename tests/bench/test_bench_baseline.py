@@ -19,7 +19,8 @@ bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 FAKE_RECORD = {
-    "metrics": {"pagoda_tasks_per_s": 1000.0, "engine_events_per_s": 5e6},
+    "metrics": {"pagoda_tasks_per_s": 1000.0, "engine_events_per_s": 5e6,
+                "engine_lane_speedup": 3.0},
     "wall_s": {},
     "speedup_vs_seed": {},
 }
@@ -94,6 +95,55 @@ def test_obs_overhead_floor_fails_check(fast_bench, tmp_path, monkeypatch,
     assert bench.main(["--check", "--output", str(out)]) == 1
     assert "obs_on_off_ratio" in capsys.readouterr().out
     assert bench.main(["--check", "--no-fail", "--output", str(out)]) == 0
+
+
+def test_lane_speedup_excluded_from_throughput_comparison():
+    """engine_lane_speedup has its own floor guard; a run-to-run swing
+    in the ratio must not trip the generic >20% throughput check."""
+    record = {"metrics": {"pagoda_tasks_per_s": 1000.0,
+                          "engine_lane_speedup": 2.1}}
+    baseline = {"pagoda_tasks_per_s": 1000.0, "engine_lane_speedup": 4.0}
+    assert bench.check_regression(record, baseline) == []
+
+
+def test_lane_speedup_floor_fails_check(fast_bench, tmp_path, monkeypatch,
+                                        capsys):
+    """A fast/default ratio below LANE_SPEEDUP_FLOOR fails --check
+    (and only warns with --no-fail)."""
+    slow = json.loads(json.dumps(FAKE_RECORD))
+    slow["metrics"]["engine_lane_speedup"] = bench.LANE_SPEEDUP_FLOOR / 2
+    monkeypatch.setattr(bench, "measure",
+                        lambda: json.loads(json.dumps(slow)))
+    out = tmp_path / "BENCH.json"
+    assert bench.main(["--check", "--output", str(out)]) == 1
+    assert "engine_lane_speedup" in capsys.readouterr().out
+    assert bench.main(["--check", "--no-fail", "--output", str(out)]) == 0
+
+
+def test_json_mode_keeps_stdout_machine_parsable(fast_bench, tmp_path,
+                                                 capsys):
+    """With --json the whole stdout stream is one JSON document; the
+    human-readable report moves to stderr."""
+    out = tmp_path / "BENCH.json"
+    rc = fast_bench.main(["--check", "--json", "--output", str(out)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert json.loads(captured.out)["metrics"] == FAKE_RECORD["metrics"]
+    assert "no baseline, recording fresh" in captured.err
+
+
+def test_clean_subprocess_env_silences_condarc(monkeypatch):
+    import os
+
+    monkeypatch.setenv("CONDARC", "/nonexistent/.condarc")
+    monkeypatch.setenv("CONDA_PROMPT_MODIFIER", "(base) ")
+    monkeypatch.setenv("CONDA_PREFIX", "/opt/conda")
+    env = bench.clean_subprocess_env()
+    assert env["CONDARC"] == os.devnull
+    assert "CONDA_PROMPT_MODIFIER" not in env
+    # the interpreter-resolution variables survive
+    assert env["CONDA_PREFIX"] == "/opt/conda"
+    assert os.environ["CONDARC"] == "/nonexistent/.condarc"  # untouched
 
 
 def test_check_still_fails_on_genuine_regression(fast_bench, tmp_path):

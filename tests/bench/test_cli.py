@@ -39,6 +39,31 @@ def test_cli_rejects_unknown_experiment():
     assert "invalid choice" in proc.stderr
 
 
+def test_bench_script_json_stream_is_clean(tmp_path):
+    """scripts/bench.py --json run under the conda-silenced environment
+    must put exactly one parsable JSON record on stdout (no condarc
+    warnings or other chatter interleaved) carrying the lane metrics."""
+    import json
+    import pathlib
+
+    from tests.bench.test_bench_baseline import bench
+
+    script = pathlib.Path(__file__).parents[2] / "scripts" / "bench.py"
+    proc = subprocess.run(
+        [sys.executable, str(script), "--json", "--no-fail",
+         "--output", str(tmp_path / "BENCH.json")],
+        capture_output=True, text=True, timeout=600,
+        env=bench.clean_subprocess_env(),
+    )
+    assert proc.returncode == 0, proc.stderr[-1500:]
+    record = json.loads(proc.stdout)  # the *entire* stream is the record
+    for key in ("engine_events_per_s", "engine_events_per_s_fan",
+                "engine_events_per_s_fast", "engine_lane_speedup"):
+        assert key in record["metrics"], key
+    assert record["metrics"]["engine_lane_speedup"] > 0
+    assert f"fig5_slice_fast_{bench.FIG5_SLICE_TASKS}_tasks" in record["wall_s"]
+
+
 def test_calibrate_script_reports_on_target():
     """scripts/calibrate.py must confirm the shipped constants still
     land near their Table 3 targets (and not mutate the library)."""

@@ -1,0 +1,88 @@
+"""Shared plumbing for the lane-differential suite.
+
+Every helper runs the *same* deterministic scenario on a chosen engine
+lane and returns a byte-comparable artifact (fingerprint tuple, JSON
+string).  Tests assert strict equality between lanes — the fast lane's
+contract is bit-identity, not tolerance (docs/INTERNALS.md §10).
+"""
+
+import json
+
+from repro.core import PagodaConfig, run_pagoda
+from repro.faults import FaultPlan
+from repro.gpu.phases import Phase
+from repro.obs import Obs
+from repro.tasks import TaskSpec
+
+from tests.chaos.harness import CHAOS_COLUMNS, chaos_spec, chaos_tasks
+from tests.test_determinism import fingerprint
+
+#: seed sweep width (the acceptance bar is >= 25 seeds).
+DIFF_SEEDS = range(25)
+
+
+def chaos_fingerprint(seed: int, lane: str, faulty: bool = False) -> tuple:
+    """One hostile-mix Pagoda run on the 2-SMM chaos GPU.
+
+    With ``faulty`` a seed-generated :class:`FaultPlan` is active and
+    the fingerprint additionally pins the fault bookkeeping (injected
+    count, failures, per-task error reasons).
+    """
+    plan = None
+    watchdog = None
+    if faulty:
+        plan = FaultPlan.generate(seed=seed, n_faults=4,
+                                  horizon_ns=300_000.0,
+                                  columns=CHAOS_COLUMNS)
+        watchdog = 2_000_000.0 if plan.needs_watchdog() else None
+    stats = run_pagoda(chaos_tasks(seed), spec=chaos_spec(),
+                       config=PagodaConfig(
+                           copy_inputs=False, copy_outputs=False, lane=lane,
+                           fault_plan=plan,
+                           watchdog_deadline_ns=watchdog))
+    extra = ()
+    if faulty:
+        extra = (stats.meta["faults_injected"],
+                 stats.meta["tasks_failed"],
+                 tuple(sorted(stats.meta["task_errors"].items())),
+                 stats.meta["watchdog_kills"],
+                 tuple(stats.meta["quarantined_slots"]))
+    return fingerprint(stats) + extra
+
+
+def obs_snapshot_json(seed: int, lane: str) -> str:
+    """Canonical JSON of a fully instrumented run's stats snapshot
+    (profiler attached, so ``profile.heap_peak`` is part of the
+    comparison)."""
+    stats = run_pagoda(chaos_tasks(seed), spec=chaos_spec(),
+                       config=PagodaConfig(
+                           copy_inputs=False, copy_outputs=False,
+                           lane=lane, obs=Obs()))
+    return json.dumps(stats.meta["stats_snapshot"], sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _serve_kernel(task, block_id, warp_id):
+    yield Phase(inst=1500, mem_bytes=128)
+
+
+def serve_report_json(lane: str, faulty: bool = False,
+                      n_requests: int = 60) -> str:
+    """One SLO-serving run; returns the report's canonical bytes."""
+    from repro.serve import (PoissonArrivals, ServeConfig, SloClass,
+                             TenantSpec, serve)
+
+    plan = None
+    watchdog = None
+    if faulty:
+        plan = FaultPlan.generate(seed=3, n_faults=6,
+                                  horizon_ns=300_000.0, columns=48)
+        watchdog = 2_000_000.0 if plan.needs_watchdog() else None
+    tasks = [TaskSpec(f"t{i}", 128, 1, _serve_kernel)
+             for i in range(n_requests)]
+    tenants = [TenantSpec("svc", tasks,
+                          PoissonArrivals(150_000.0, seed=11),
+                          slo=SloClass("svc", deadline_ns=2.0e5))]
+    report = serve(tenants, ServeConfig(pagoda=PagodaConfig(
+        lane=lane, fault_plan=plan, watchdog_deadline_ns=watchdog)))
+    return report.to_json()

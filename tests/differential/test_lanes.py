@@ -1,0 +1,215 @@
+"""Fast lane ≡ default lane ≡ reference core, byte for byte.
+
+The fast lane (``Engine(lane="fast")``, docs/INTERNALS.md §10) changes
+*how* the run loop drains same-timestamp events, never *which* events
+run in *what* order.  This suite pins that claim against every
+artifact the repo knows how to compare: engine traces, end-to-end
+schedule fingerprints, fully instrumented obs snapshots (including the
+profiler's queue-depth peak), serve reports, and fault-plan runs —
+across the golden corpus and a 25-seed hostile sweep.
+"""
+
+import pytest
+
+from repro.bench.harness import make_tasks, run_tasks
+from repro.sim import DeadlockError, Engine, Event
+from repro.sim.reference import ReferenceEngine
+
+from tests.differential.harness import (
+    DIFF_SEEDS,
+    chaos_fingerprint,
+    obs_snapshot_json,
+    serve_report_json,
+)
+from tests.test_determinism import (
+    GOLDEN_APPROX_CASES,
+    GOLDEN_EXACT_CASES,
+    _engine_soup,
+    fingerprint,
+)
+
+
+def _default():
+    return Engine(lane="default")
+
+
+def _fast():
+    return Engine(lane="fast")
+
+
+# ---------------------------------------------------------------------------
+# Engine level
+# ---------------------------------------------------------------------------
+
+def test_engine_soup_three_way():
+    """Trace, final clock, and event count agree across the default
+    lane, the fast lane, and the frozen seed implementation."""
+    default = _engine_soup(_default)
+    fast = _engine_soup(_fast)
+    reference = _engine_soup(ReferenceEngine)
+    assert default == fast == reference
+
+
+def test_lane_argument_is_validated():
+    with pytest.raises(ValueError, match="unknown engine lane"):
+        Engine(lane="turbo")
+    assert Engine().lane == "default"
+    assert Engine(lane="fast").lane == "fast"
+
+
+def _bounded_trace(engine, until=None, max_events=None):
+    trace = []
+
+    def ticker(i):
+        for j in range(6):
+            yield 1.0
+            trace.append((engine.now, i, j))
+
+    for i in range(4):
+        engine.spawn(ticker(i), name=f"t{i}")
+    end = engine.run(until=until, max_events=max_events)
+    return tuple(trace), end, engine.event_count
+
+
+@pytest.mark.parametrize("until,max_events", [
+    (None, 7), (3.5, None), (3.0, None), (None, 1), (2.0, 9),
+])
+def test_bounded_runs_equivalent(until, max_events):
+    """``until``/``max_events`` bounds stop both lanes at the same
+    event, clock, and count — including mid-batch stops."""
+    d = _bounded_trace(_default(), until, max_events)
+    f = _bounded_trace(_fast(), until, max_events)
+    assert d == f
+
+
+def test_bounded_run_resumes_identically():
+    """A run stopped mid-batch by ``max_events`` resumes in the
+    original order on both lanes."""
+    def run(engine):
+        trace = []
+
+        def ticker(i):
+            for j in range(4):
+                yield 1.0
+                trace.append((engine.now, i, j))
+
+        for i in range(5):
+            engine.spawn(ticker(i), name=f"t{i}")
+        engine.run(max_events=3)   # stops inside the t=0/t=1 batches
+        mid = tuple(trace)
+        engine.run()               # drain the stashed remainder
+        return mid, tuple(trace), engine.now, engine.event_count
+
+    assert run(_default()) == run(_fast())
+
+
+def test_run_until_idle_processes_equivalent():
+    def run(engine):
+        trace = []
+
+        def rearming():
+            # keeps re-arming timers; only liveness stops the run
+            for j in range(3):
+                yield 1.0
+                trace.append((engine.now, "work", j))
+            engine.call_after(1.0, lambda: trace.append((engine.now, "cb")))
+
+        engine.spawn(rearming(), name="w")
+        end = engine.run_until_idle_processes()
+        return tuple(trace), end, engine.event_count
+
+    assert run(_default()) == run(_fast())
+
+
+def test_deadlock_detection_both_lanes():
+    for make in (_default, _fast):
+        engine = make()
+
+        def stuck():
+            yield Event()  # never fires
+
+        engine.spawn(stuck(), name="stuck")
+        with pytest.raises(DeadlockError, match="stuck"):
+            engine.run(raise_on_deadlock=True)
+
+
+def test_exception_mid_batch_preserves_remainder():
+    """An exception thrown from a callback leaves the same events
+    pending (and the same count executed) on both lanes."""
+    def run(engine):
+        trace = []
+
+        def ticker(i):
+            yield 1.0
+            trace.append((engine.now, i))
+
+        for i in range(6):
+            engine.spawn(ticker(i), name=f"t{i}")
+
+        def boom():
+            raise RuntimeError("boom")
+
+        engine.call_at(1.0, boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run()
+        mid = (tuple(trace), engine.event_count)
+        engine.run()  # the stashed remainder drains in original order
+        return mid, tuple(trace), engine.now, engine.event_count
+
+    assert run(_default()) == run(_fast())
+
+
+# ---------------------------------------------------------------------------
+# Golden corpus (end-to-end runs)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload,runtime,seed",
+                         GOLDEN_EXACT_CASES + GOLDEN_APPROX_CASES)
+def test_golden_corpus_lane_identical(workload, runtime, seed):
+    """Both lanes run the optimized core, so every corpus cell —
+    including the ULP-drift ones — must agree exactly."""
+    tasks = make_tasks(workload, 24, 128, seed=seed)
+    default = fingerprint(run_tasks(tasks, runtime))
+    fast = fingerprint(run_tasks(tasks, runtime, lane="fast"))
+    assert default == fast
+
+
+# ---------------------------------------------------------------------------
+# Seed sweep: hostile mixes, with and without an active FaultPlan
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_chaos_seed_identical(seed):
+    assert (chaos_fingerprint(seed, "default")
+            == chaos_fingerprint(seed, "fast"))
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_chaos_seed_identical_under_fault_plan(seed):
+    assert (chaos_fingerprint(seed, "default", faulty=True)
+            == chaos_fingerprint(seed, "fast", faulty=True))
+
+
+# ---------------------------------------------------------------------------
+# Obs snapshots and serve reports (byte comparisons)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 7, 19])
+def test_obs_snapshot_byte_identical(seed):
+    """Instrumented runs agree to the byte — including the profiler's
+    ``heap_peak`` (queue depth is defined lane-invariantly) and the
+    occupancy-memo counters."""
+    default = obs_snapshot_json(seed, "default")
+    fast = obs_snapshot_json(seed, "fast")
+    assert default == fast
+    assert '"gpu.occupancy.memo_hits"' in default
+    assert '"heap_peak"' in default
+
+
+def test_serve_report_byte_identical():
+    assert serve_report_json("default") == serve_report_json("fast")
+
+
+def test_serve_report_byte_identical_under_faults():
+    assert (serve_report_json("default", faulty=True)
+            == serve_report_json("fast", faulty=True))
