@@ -8,9 +8,11 @@ default and fast engine lanes; their ratio is ``engine_lane_speedup``,
 guarded by an absolute >=2x floor), microbenchmarks of the indexed
 runtime structures (scheduler dirty-row wakes, WarpTable
 dispatch/retire), the serving frontend end-to-end (arrivals through
-latency accounting), plus a small Fig. 5 slice on each lane, and
-writes ``BENCH_simcore.json`` at the repo root so every PR leaves a
-perf data point behind.
+latency accounting), the cluster fleet sequentially vs sharded across
+worker processes (``cluster_speedup``, guarded by an absolute >=2x
+floor on hosts with >= 4 cores), plus a small Fig. 5 slice on each
+lane, and writes ``BENCH_simcore.json`` at the repo root so every PR
+leaves a perf data point behind.
 
 If a committed ``BENCH_simcore.json`` already exists, the fresh
 throughputs are compared against it first: any metric that regresses
@@ -46,7 +48,11 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.bench import cluster as bench_cluster_mod  # noqa: E402
 from repro.bench import fig5  # noqa: E402
+# re-exported at module level: tests and sibling scripts import the
+# conda-silencing helper from here by name
+from repro.bench.subproc import clean_subprocess_env  # noqa: E402,F401
 from repro.core import PagodaConfig, run_pagoda  # noqa: E402
 from repro.gpu.phases import Phase  # noqa: E402
 from repro.sim import Engine, ProcessorSharing  # noqa: E402
@@ -69,25 +75,14 @@ LANE_SPEEDUP_FLOOR = 2.0
 #: instant -> FAN_TICKERS * FAN_TICKS timer events per run.
 FAN_TICKERS = 64
 FAN_TICKS = 3_125
-
-
-def clean_subprocess_env(base=None):
-    """A copy of the environment with conda's config chatter silenced.
-
-    conda-wrapped pythons print ``WARNING conda... condarc`` diagnostics
-    on *stdout* when a user-level ``.condarc`` is unreadable or
-    malformed; launched as a subprocess, that noise interleaves with
-    the ``--json`` record and breaks downstream parsers.  Pointing
-    ``CONDARC`` at the null device sidesteps the user config entirely,
-    and the prompt/shell-hook variables (which re-trigger activation
-    chatter) are dropped.  ``CONDA_PREFIX``/``PATH`` are kept so the
-    child still resolves the same interpreter.
-    """
-    env = dict(os.environ if base is None else base)
-    env["CONDARC"] = os.devnull
-    for noisy in ("CONDA_PROMPT_MODIFIER", "CONDA_SHLVL", "PROMPT"):
-        env.pop(noisy, None)
-    return env
+#: hard floor on the sequential/sharded wall-time ratio of the cluster
+#: fleet scenario at CLUSTER_WORKERS workers.  Only enforced on hosts
+#: with at least that many cores: a 1-core container cannot
+#: demonstrate parallel speedup, so there the ratio is recorded
+#: unguarded (the byte-identity assertion inside the measurement still
+#: applies everywhere).
+CLUSTER_SPEEDUP_FLOOR = 2.0
+CLUSTER_WORKERS = 4
 
 #: Seed-commit throughputs measured on the machine that recorded the
 #: first BENCH_simcore.json (best-of-run minima of the pytest-benchmark
@@ -314,6 +309,20 @@ def bench_serve_stack(repeats: int = 3):
     return completed / wall, wall
 
 
+def bench_cluster():
+    """Fleet scenario sequentially vs process-sharded -> speedup ratio.
+
+    The measurement asserts byte-identity of the two runs' fleet
+    reports before returning any number, so the recorded
+    ``cluster_speedup`` is always a ratio of two identical
+    simulations.  Not best-of-N: one sharded run forks a worker pool,
+    and the pool setup cost is part of what the number should reflect.
+    """
+    workers = min(CLUSTER_WORKERS, max(1, os.cpu_count() or 1))
+    measured = bench_cluster_mod.measure_speedup(workers)
+    return measured
+
+
 def bench_fig5_slice(repeats: int = 1, lane: str = "default"):
     """Small Fig. 5 slice: full multi-runtime sweep wall time."""
     _, wall = _best_of(
@@ -332,6 +341,7 @@ def measure() -> dict:
     wakes_per_s, wakes_wall = bench_scheduler_wakes()
     warp_ops_per_s, warp_wall = bench_warptable_churn()
     serve_per_s, serve_wall = bench_serve_stack()
+    cluster_measured = bench_cluster()
     fig5_wall = bench_fig5_slice()
     fig5_fast_wall = bench_fig5_slice(lane="fast")
     metrics = {
@@ -346,6 +356,7 @@ def measure() -> dict:
         "scheduler_wakes_per_s": round(wakes_per_s, 1),
         "warptable_ops_per_s": round(warp_ops_per_s, 1),
         "serve_requests_per_s": round(serve_per_s, 1),
+        "cluster_speedup": cluster_measured["cluster_speedup"],
     }
     return {
         "metrics": metrics,
@@ -359,11 +370,14 @@ def measure() -> dict:
             "scheduler_wakes": round(wakes_wall, 4),
             "warptable_churn": round(warp_wall, 4),
             "serve_stack": round(serve_wall, 4),
+            "cluster_seq": cluster_measured["seq_wall_s"],
+            "cluster_sharded": cluster_measured["par_wall_s"],
             f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
             f"fig5_slice_fast_{FIG5_SLICE_TASKS}_tasks":
                 round(fig5_fast_wall, 2),
         },
         "stats_snapshot": stats_snapshot,
+        "cluster_workers": cluster_measured["workers"],
         # metrics introduced after the seed commit have no seed number
         # to compare against and are simply absent here
         "speedup_vs_seed": {
@@ -402,7 +416,8 @@ def load_baseline(baseline_path: pathlib.Path):
 # the generic >20% throughput comparison: a ratio of two noisy timings
 # swings far more run-to-run than either timing alone.
 _NON_THROUGHPUT_METRICS = frozenset({"obs_on_off_ratio",
-                                     "engine_lane_speedup"})
+                                     "engine_lane_speedup",
+                                     "cluster_speedup"})
 
 
 def check_regression(record: dict, baseline: dict) -> list:
@@ -473,6 +488,25 @@ def main(argv=None) -> int:
             "stopped paying for itself on the wide-fan scenario")
         if not args.no_fail:
             return finish(1)
+
+    # the cluster floor is also absolute, but conditional on hardware:
+    # one engine per worker process can only beat one process when the
+    # host actually has the cores — on smaller machines the ratio is
+    # recorded for the trajectory and the guard stands down
+    cluster_speedup = record["metrics"].get("cluster_speedup")
+    cores = os.cpu_count() or 1
+    if cluster_speedup is not None and cores >= CLUSTER_WORKERS:
+        if cluster_speedup < CLUSTER_SPEEDUP_FLOOR:
+            say(f"\nWARNING: cluster_speedup {cluster_speedup:.2f}x at "
+                f"{record.get('cluster_workers')} workers is below the "
+                f"{CLUSTER_SPEEDUP_FLOOR}x floor: process sharding "
+                "stopped paying for itself")
+            if not args.no_fail:
+                return finish(1)
+    elif cluster_speedup is not None:
+        say(f"\ncluster_speedup {cluster_speedup:.2f}x recorded "
+            f"unguarded ({cores} cores < {CLUSTER_WORKERS} needed "
+            "to demonstrate parallel speedup)")
 
     baseline = load_baseline(args.output)
     if baseline is None:

@@ -23,6 +23,7 @@ import os
 from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.runner import EXPERIMENTS, run_cell, run_one
+from repro.bench.subproc import silence_conda
 
 
 def default_jobs() -> int:
@@ -58,6 +59,9 @@ def run_parallel(
     ctx = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     )
-    with ctx.Pool(processes=min(jobs, len(work))) as pool:
+    # silence_conda keeps worker stdout byte-canonical under conda
+    # (late activation hooks print condarc warnings on stdout)
+    with ctx.Pool(processes=min(jobs, len(work)),
+                  initializer=silence_conda) as pool:
         # map() preserves submission order — the determinism contract
         return pool.map(run_cell, work)

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 from repro.bench import (
     ablations,
+    cluster,
     config_sweeps,
     fig5,
     lanes,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "serve_p99_under_load": serve_load,
     "obs": obs_profile,
     "lanes": lanes,
+    "cluster": cluster,
 }
 
 #: experiments whose run() takes a num_tasks argument

@@ -1,0 +1,44 @@
+"""Shared subprocess hygiene for every worker-spawning layer.
+
+conda-wrapped pythons print ``WARNING conda ... condarc`` diagnostics
+on *stdout* when a user-level ``.condarc`` is unreadable or malformed;
+in a child process that noise interleaves with byte-canonical output
+(the ``--json`` bench record, sweep-runner reports, cluster worker
+pipes) and breaks downstream parsers.  Pointing ``CONDARC`` at the
+null device sidesteps the user config entirely, and the prompt/
+shell-hook variables (which re-trigger activation chatter) are
+dropped.  ``CONDA_PREFIX``/``PATH`` are kept so children resolve the
+same interpreter.
+
+Used by ``scripts/bench.py`` (subprocess launches), the
+:mod:`repro.bench.parallel` sweep pool, and the
+:mod:`repro.cluster.worker` shard pool (as a pool/process
+initializer, since ``multiprocessing`` children inherit the parent
+environment rather than taking an ``env=`` argument).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: environment variables that re-trigger conda activation chatter.
+_NOISY_VARS = ("CONDA_PROMPT_MODIFIER", "CONDA_SHLVL", "PROMPT")
+
+
+def clean_subprocess_env(base=None) -> dict:
+    """A copy of ``base`` (default: ``os.environ``) with conda's
+    config chatter silenced; pass as ``env=`` to subprocess calls."""
+    env = dict(os.environ if base is None else base)
+    env["CONDARC"] = os.devnull
+    for noisy in _NOISY_VARS:
+        env.pop(noisy, None)
+    return env
+
+
+def silence_conda() -> None:
+    """In-place variant for ``multiprocessing`` initializers: scrub
+    the *current* process's environment so anything it execs (or any
+    late conda hook) stays quiet on stdout."""
+    os.environ["CONDARC"] = os.devnull
+    for noisy in _NOISY_VARS:
+        os.environ.pop(noisy, None)

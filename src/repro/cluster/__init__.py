@@ -1,0 +1,55 @@
+"""``repro.cluster`` — process-sharded fleet simulation.
+
+The cluster layer scales the single-box serve stack out to a fleet:
+``N`` GPU nodes, each a self-contained engine + Pagoda runtime +
+serve frontend (its own :class:`~repro.cluster.node.NodeShard`),
+coupled *only* through a simulated network fabric with explicit
+per-link latency.  Shards advance in conservative lockstep epochs
+(epoch length <= the fabric lookahead), exchanging messages at epoch
+boundaries only — which makes the run exact, deterministic, and
+byte-replayable from ``(tenants, topology, router, seeds)`` no matter
+how many worker processes host the shards.
+
+Entry point: :func:`run_cluster`.  Routing policies live in
+:mod:`repro.cluster.router`; see ``docs/INTERNALS.md`` §12 for the
+synchronization protocol and the determinism argument, and
+``docs/EXTENDING.md`` for the custom-router recipe.
+"""
+
+from repro.cluster.driver import run_cluster
+from repro.cluster.fabric import FORWARD, RESPAWN, Fabric, Message
+from repro.cluster.node import NodeShard
+from repro.cluster.report import FleetReport
+from repro.cluster.report import SCHEMA as FLEET_SCHEMA
+from repro.cluster.router import (
+    ConsistentHashRouter,
+    FleetView,
+    LeastLoadedRouter,
+    RouteRequest,
+    RouterPolicy,
+    SloAwareRouter,
+)
+from repro.cluster.topology import ROUTER, NodeSpec, Topology
+from repro.cluster.worker import InProcessHost, WorkerPoolHost
+
+__all__ = [
+    "run_cluster",
+    "FleetReport",
+    "FLEET_SCHEMA",
+    "Topology",
+    "NodeSpec",
+    "ROUTER",
+    "Fabric",
+    "Message",
+    "FORWARD",
+    "RESPAWN",
+    "NodeShard",
+    "RouterPolicy",
+    "RouteRequest",
+    "FleetView",
+    "ConsistentHashRouter",
+    "LeastLoadedRouter",
+    "SloAwareRouter",
+    "InProcessHost",
+    "WorkerPoolHost",
+]

@@ -1,0 +1,204 @@
+"""The fleet coordinator: conservative barrier-epoch lockstep.
+
+:func:`run_cluster` is the cluster layer's single entry point.  It
+pre-computes every tenant's arrival schedule (open-loop cluster load —
+the schedule is fixed before the run, like the serve layer's load
+generators), then advances the whole fleet one *epoch* at a time:
+
+1. **deliver** — pull this epoch's fabric arrivals; re-route any
+   failover ``RESPAWN`` back onto a live node, hand the ``FORWARD``
+   traffic to its destination shard's inbox;
+2. **route** — place every fresh arrival whose instant falls inside
+   this epoch on a node (the :class:`~repro.cluster.router`
+   policies see the *previous* boundary's status digests — one
+   epoch of staleness, exactly a real balancer's view), and post it
+   to the fabric at its arrival instant;
+3. **step** — every shard ingests its inbox and advances its own
+   engine to the epoch boundary (in parallel across worker processes,
+   or sequentially in-process — same protocol, same bytes);
+4. **exchange** — shard outboxes (failover respawns, bounces) go onto
+   the fabric; status digests become the next epoch's router view.
+
+Because the epoch length never exceeds the fabric lookahead (minimum
+link latency), a message sent during epoch ``e`` cannot arrive before
+epoch ``e+1`` — boundary-only exchange is *exact*, not an
+approximation, and the run is deterministic for any worker count
+(``docs/INTERNALS.md`` §12 gives the full argument).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.fabric import FORWARD, RESPAWN, Fabric
+from repro.cluster.report import FleetReport
+from repro.cluster.router import (ConsistentHashRouter, FleetView,
+                                  RouteRequest, RouterPolicy)
+from repro.cluster.topology import ROUTER, Topology
+from repro.cluster.worker import make_host
+from repro.serve.server import ServeConfig, TenantSpec
+
+#: blank per-node digest for epoch 0 (before any status exchange).
+_FRESH_STATUS = {
+    "alive": 1, "queued": 0, "inflight": 0, "pending": 0,
+    "offered": 0, "admitted": 0, "completed": 0, "failed": 0,
+    "dropped": 0, "failed_over": 0, "bounced": 0,
+}
+
+
+def _global_arrivals(tenants: List[TenantSpec]) -> List[tuple]:
+    """The fleet's offered load: ``(t_ns, tenant, index, spec)`` rows
+    sorted by ``(t_ns, tenant, index)``.  The sorted position *is* the
+    cluster-global request id — stable across processes by
+    construction."""
+    rows = []
+    for tenant in tenants:
+        times = tenant.arrivals.schedule(len(tenant.tasks))
+        for index, (spec, at) in enumerate(zip(tenant.tasks, times)):
+            rows.append((at, tenant.name, index, spec))
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    return rows
+
+
+def run_cluster(
+    tenants: List[TenantSpec],
+    topology: Topology,
+    router: Optional[RouterPolicy] = None,
+    workers: int = 0,
+    serve: Optional[ServeConfig] = None,
+    obs: bool = False,
+    label: str = "cluster",
+    max_epochs: Optional[int] = None,
+) -> FleetReport:
+    """Run one fleet experiment; returns the :class:`FleetReport`.
+
+    ``workers=0`` steps every shard sequentially in this process (the
+    reference execution); ``workers=N`` shards the fleet across ``N``
+    worker processes.  The report bytes are identical either way.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {names}")
+    for t in tenants:
+        if t.closed_loop:
+            raise ValueError(
+                f"tenant {t.name!r} is closed-loop: cluster load is "
+                "open-loop (the router cannot block on a node's reply)"
+            )
+        if not t.tasks:
+            raise ValueError(f"tenant {t.name!r} has no tasks")
+    router = router if router is not None else ConsistentHashRouter(topology)
+
+    arrivals = _global_arrivals(tenants)
+    deadline_of = {t.name: t.slo.deadline_ns for t in tenants}
+    #: rid -> (tenant, per-tenant index) for re-routing respawns.
+    identity: Dict[int, Tuple[str, int]] = {
+        rid: (row[1], row[2]) for rid, row in enumerate(arrivals)
+    }
+
+    fabric = Fabric(topology)
+    epoch_len = topology.epoch_length_ns
+    tenant_slos = [(t.name, t.slo) for t in tenants]
+    host = make_host(topology, tenant_slos, serve, obs, workers)
+
+    if max_epochs is None:
+        last_at = arrivals[-1][0]
+        max_epochs = int(last_at // epoch_len) + 10_000
+
+    view = FleetView({name: dict(_FRESH_STATUS)
+                      for name in topology.node_names})
+    routed = {name: 0 for name in topology.node_names}
+    respawned = 0
+    cursor = 0  # next undispatched row of `arrivals`
+    statuses: Dict[str, Dict[str, int]] = view.statuses
+    epoch = 0
+
+    def _place(req: RouteRequest, send_ns: float, payload) -> None:
+        dst = router.route(req, view)
+        fabric.post(FORWARD, ROUTER, dst, send_ns, payload)
+        if not req.respawn:
+            routed[dst] += 1
+
+    try:
+        while True:
+            boundary = (epoch + 1) * epoch_len
+            inboxes: Dict[str, list] = {}
+            for msg in fabric.deliver(epoch):
+                if msg.dst == ROUTER:
+                    # a node handed a request back (death failover or
+                    # dead-node bounce): re-place it on a live node
+                    rid, tenant, spec = msg.payload
+                    index = identity[rid][1]
+                    respawned += 1
+                    _place(
+                        RouteRequest(rid=rid, tenant=tenant, index=index,
+                                     kernel=spec.name,
+                                     num_blocks=spec.num_blocks,
+                                     deadline_ns=deadline_of[tenant],
+                                     respawn=True),
+                        msg.arrive_ns, msg.payload)
+                else:
+                    inboxes.setdefault(msg.dst, []).append(msg)
+            while cursor < len(arrivals) and arrivals[cursor][0] < boundary:
+                at, tenant, index, spec = arrivals[cursor]
+                _place(
+                    RouteRequest(rid=cursor, tenant=tenant, index=index,
+                                 kernel=spec.name,
+                                 num_blocks=spec.num_blocks,
+                                 deadline_ns=deadline_of[tenant]),
+                    at, (cursor, tenant, spec))
+                cursor += 1
+
+            results = host.step(boundary, inboxes)
+            for name in topology.node_names:
+                outbox, status = results[name]
+                statuses[name] = status
+                for kind, send_ns, payload in outbox:
+                    fabric.post(kind, name, ROUTER, send_ns, payload)
+            view = FleetView(statuses)
+            epoch += 1
+
+            done = (cursor == len(arrivals)
+                    and fabric.pending() == 0
+                    and not any(
+                        s["alive"] and (s["queued"] + s["inflight"]
+                                        + s["pending"])
+                        for s in statuses.values()))
+            if done:
+                break
+            if epoch >= max_epochs:
+                raise RuntimeError(
+                    f"fleet did not quiesce within {max_epochs} epochs "
+                    f"({fabric.pending()} messages in flight, "
+                    f"{len(arrivals) - cursor} arrivals unrouted)"
+                )
+
+        finished = host.finish()
+    finally:
+        host.close()
+
+    node_reports = {name: finished[name][0]
+                    for name in topology.node_names}
+    obs_agg = None
+    if obs:
+        from repro.obs import aggregate_snapshots
+        obs_agg = aggregate_snapshots({
+            name: finished[name][1] for name in topology.node_names
+        })
+    return FleetReport(
+        label=label,
+        router=router.describe(),
+        topology=topology.describe(),
+        epoch_ns=epoch_len,
+        epochs=epoch,
+        node_reports=node_reports,
+        routed=routed,
+        respawned=respawned,
+        bounced=sum(s.get("bounced", 0) for s in statuses.values()),
+        fabric_posted=fabric.posted,
+        fabric_delivered=fabric.delivered,
+        fabric_latency_sum_ns=fabric.latency_sum_ns,
+        obs=obs_agg,
+    )

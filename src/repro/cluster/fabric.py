@@ -1,0 +1,87 @@
+"""The simulated network fabric: typed messages, explicit latency.
+
+Shards never share state; everything that crosses a node boundary is a
+:class:`Message` posted to the :class:`Fabric`.  The fabric stamps the
+arrival instant (``send_ns`` + link latency), buckets messages by the
+epoch that contains that instant, and hands each epoch's deliveries
+out in one deterministic order — ``(arrive_ns, seq)``, with ``seq``
+the global post order.  Because every link is at least one lookahead
+long, a message posted during epoch ``e`` always lands in a bucket
+``>= e+1``: delivery at epoch boundaries is exact, not approximate.
+
+Messages must pickle (they cross process boundaries in worker mode);
+payloads are task specs, plain tuples, and ints only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.cluster.topology import Topology
+
+#: message kinds on the wire.
+FORWARD = "forward"    # router -> node: one routed request
+RESPAWN = "respawn"    # node -> router: failover re-spawn of a request
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unit crossing the fabric."""
+
+    kind: str
+    src: str
+    dst: str
+    send_ns: float
+    arrive_ns: float
+    seq: int
+    payload: Any = field(default=None, compare=False)
+
+
+class Fabric:
+    """Latency-stamping, epoch-bucketing message switch."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.epoch_ns = topology.epoch_length_ns
+        self._seq = 0
+        #: epoch index -> [Message, ...] in post order.
+        self._buckets: Dict[int, List[Message]] = {}
+        self.posted = 0
+        self.delivered = 0
+        #: total ns spent on the wire (for the fleet report).
+        self.latency_sum_ns = 0.0
+
+    def epoch_of(self, t_ns: float) -> int:
+        """Index of the epoch window containing ``t_ns``."""
+        return int(t_ns // self.epoch_ns)
+
+    def post(self, kind: str, src: str, dst: str, send_ns: float,
+             payload: Any = None) -> Message:
+        """Put one message on the wire; returns the stamped message."""
+        latency = self.topology.latency_ns(src, dst)
+        self._seq += 1
+        msg = Message(kind=kind, src=src, dst=dst, send_ns=send_ns,
+                      arrive_ns=round(send_ns + latency, 3),
+                      seq=self._seq, payload=payload)
+        self._buckets.setdefault(self.epoch_of(msg.arrive_ns),
+                                 []).append(msg)
+        self.posted += 1
+        self.latency_sum_ns += latency
+        return msg
+
+    def deliver(self, epoch: int) -> List[Message]:
+        """Every message arriving during ``epoch``, in
+        ``(arrive_ns, seq)`` order.  Consumes the bucket."""
+        msgs = self._buckets.pop(epoch, [])
+        msgs.sort(key=lambda m: (m.arrive_ns, m.seq))
+        self.delivered += len(msgs)
+        return msgs
+
+    def pending(self) -> int:
+        """Messages still in flight (posted, not yet delivered)."""
+        return self.posted - self.delivered
+
+    def next_pending_epoch(self) -> int:
+        """Earliest epoch with undelivered messages (-1 when empty)."""
+        return min(self._buckets) if self._buckets else -1

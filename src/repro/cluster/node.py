@@ -1,0 +1,136 @@
+"""One fleet shard: a self-contained GPU node behind a frontend.
+
+A :class:`NodeShard` owns everything a simulated box owns — its own
+:class:`~repro.sim.Engine` (fast lane by default, via the serve
+config), Pagoda runtime stack(s), and a
+:class:`~repro.serve.remote.NodeFrontend` — and exposes exactly the
+epoch protocol the coordinator speaks: *deliver, step, report*.
+Shards are constructed **from plain data** (a
+:class:`~repro.cluster.topology.NodeSpec`, the tenant contracts, and a
+template :class:`~repro.serve.ServeConfig`), never shared, so a shard
+built in a worker process is indistinguishable from one built in the
+coordinator — the root of the 1-process/N-process byte-identity
+guarantee.
+
+Node-scoped faults: the spec's :class:`~repro.faults.FaultPlan` rides
+into the node's own runtime unchanged, except that ``gpu.die`` is
+interpreted here as *node death* (one box, one failure domain): at the
+spec's ``at_ns`` the shard freezes its engine, reports every
+unanswered request back over the fabric for cross-shard failover, and
+answers all later deliveries with a bounce.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.fabric import RESPAWN, Message
+from repro.cluster.topology import NodeSpec
+from repro.serve.remote import NodeFrontend, remote_tenants
+from repro.serve.server import ServeConfig
+
+#: outbox entry: ``(kind, send_ns, payload)`` — the coordinator owns
+#: the fabric, so shards describe sends instead of posting them.
+Outbound = Tuple[str, float, object]
+
+
+def _die_schedule(fault_plan) -> Optional[float]:
+    """Earliest ``gpu.die`` arming time in the plan (node death)."""
+    if fault_plan is None:
+        return None
+    times = [spec.at_ns for spec in fault_plan
+             if spec.kind == "gpu.die"]
+    return min(times) if times else None
+
+
+class NodeShard:
+    """The epoch-stepped wrapper around one node's serve frontend."""
+
+    def __init__(self, spec: NodeSpec, tenant_slos: Sequence[tuple],
+                 template: Optional[ServeConfig] = None,
+                 obs: bool = False) -> None:
+        self.name = spec.name
+        base = spec.serve if spec.serve is not None else template
+        config = copy.deepcopy(base) if base is not None else ServeConfig()
+        if config.pagoda.obs is not None:
+            raise ValueError(
+                "cluster shards manage their own Obs; leave "
+                "ServeConfig.pagoda.obs unset"
+            )
+        config.label = spec.name
+        config.num_gpus = spec.num_gpus
+        config.pagoda.fault_plan = spec.fault_plan
+        self.obs = None
+        if obs:
+            from repro.obs import Obs
+            self.obs = Obs()
+            config.pagoda.obs = self.obs
+        self.config = config
+        self.frontend = NodeFrontend(
+            remote_tenants(copy.deepcopy(list(tenant_slos))), config)
+        self.frontend.start()
+        self.die_ns = _die_schedule(spec.fault_plan)
+        self.dead = False
+        self._report = None
+        #: requests bounced off this node after death (fleet metric).
+        self.bounced = 0
+
+    # -- the epoch protocol ---------------------------------------------------
+
+    def step(self, epoch_end: float,
+             deliveries: List[Message]) -> Tuple[List[Outbound], Dict]:
+        """Ingest this epoch's deliveries, advance virtual time to
+        ``epoch_end``, and return ``(outbox, status)``."""
+        outbox: List[Outbound] = []
+        if self.dead:
+            # the box is gone: every delivery bounces straight back to
+            # the router for re-placement (send time = arrival time —
+            # a refused connection, not a served request)
+            for msg in deliveries:
+                self.bounced += 1
+                outbox.append((RESPAWN, msg.arrive_ns, msg.payload))
+            return outbox, self.status()
+        for msg in deliveries:
+            rid, tenant, spec = msg.payload
+            self.frontend.inject(rid, tenant, spec, msg.arrive_ns)
+        if self.die_ns is not None and self.die_ns < epoch_end:
+            report, respawns = self.frontend.abort(self.die_ns)
+            self._record_death()
+            self.dead = True
+            self._report = report
+            for rid, tenant, spec in respawns:
+                outbox.append((RESPAWN, self.die_ns, (rid, tenant, spec)))
+            return outbox, self.status()
+        self.frontend.step_until(epoch_end)
+        return outbox, self.status()
+
+    def _record_death(self) -> None:
+        """Log the fired ``gpu.die`` on the node-level injector."""
+        node = self.frontend.node
+        if node.faults is None:
+            return
+        for spec in node.faults.time_triggered("gpu.die"):
+            if spec.at_ns == self.die_ns:
+                node.faults.record_fired(spec, site=self.name)
+                break
+
+    def status(self) -> Dict[str, int]:
+        s = self.frontend.status()
+        s["bounced"] = self.bounced
+        return s
+
+    def busy(self) -> bool:
+        return not self.dead and self.frontend.busy()
+
+    # -- teardown -------------------------------------------------------------
+
+    def finish(self) -> Tuple[object, Optional[dict]]:
+        """Drain to quiescence (live nodes) and return
+        ``(ServeReport, obs snapshot | None)``."""
+        if self._report is None:
+            self._report = self.frontend.close_and_drain()
+        snapshot = None
+        if self.obs is not None:
+            snapshot = self.obs.snapshot(self.frontend.engine)
+        return self._report, snapshot

@@ -1,0 +1,165 @@
+"""Shard hosts: the same epoch protocol, in-process or across workers.
+
+The coordinator (:mod:`repro.cluster.driver`) never talks to a
+:class:`~repro.cluster.node.NodeShard` directly; it talks to a *host*:
+
+- :class:`InProcessHost` builds every shard in the coordinator's own
+  interpreter and steps them sequentially — the reference execution,
+  and the fallback when ``workers == 0``;
+- :class:`WorkerPoolHost` partitions the nodes round-robin across N
+  worker processes, each of which rebuilds its shards from the plain
+  pickled topology/config data and serves the *identical* step
+  protocol over a pipe.
+
+Both hosts are pure transports: every routing/ordering decision is
+made coordinator-side from data that is identical in either mode, and
+each shard's evolution is a pure function of its deliveries — which
+is why the merged fleet report is byte-identical for any worker
+count (asserted by ``tests/cluster``).
+
+Workers are plain ``multiprocessing`` processes (``fork`` where
+available, ``spawn`` elsewhere — task-spec kernels must be picklable,
+i.e. module-level, for ``spawn``).  Worker environments are scrubbed
+with :func:`repro.bench.subproc.silence_conda` so nothing pollutes
+stdout mid-protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.subproc import silence_conda
+from repro.cluster.fabric import Message
+from repro.cluster.node import NodeShard, Outbound
+from repro.cluster.topology import Topology
+
+#: per-node step result: ``(outbox, status)``.
+StepResult = Tuple[List[Outbound], Dict[str, int]]
+
+
+class InProcessHost:
+    """Sequential shard stepping inside the coordinator process."""
+
+    def __init__(self, topology: Topology, tenant_slos: Sequence[tuple],
+                 template, obs: bool) -> None:
+        self.shards = {
+            spec.name: NodeShard(spec, tenant_slos, template, obs)
+            for spec in topology.nodes
+        }
+        self._order = topology.node_names
+
+    def step(self, epoch_end: float,
+             inboxes: Dict[str, List[Message]]) -> Dict[str, StepResult]:
+        return {
+            name: self.shards[name].step(epoch_end, inboxes.get(name, []))
+            for name in self._order
+        }
+
+    def finish(self) -> Dict[str, tuple]:
+        return {name: self.shards[name].finish() for name in self._order}
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, topology: Topology, names: List[str],
+                 tenant_slos, template, obs: bool) -> None:
+    """One worker process: build the assigned shards, speak the
+    step/finish protocol over the pipe until told to exit."""
+    silence_conda()
+    shards = {
+        name: NodeShard(topology.node(name), tenant_slos, template, obs)
+        for name in names
+    }
+    while True:
+        cmd = conn.recv()
+        if cmd[0] == "step":
+            _, epoch_end, inboxes = cmd
+            conn.send({
+                name: shards[name].step(epoch_end, inboxes.get(name, []))
+                for name in names
+            })
+        elif cmd[0] == "finish":
+            conn.send({name: shards[name].finish() for name in names})
+        elif cmd[0] == "exit":
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol guard
+            raise ValueError(f"unknown worker command {cmd[0]!r}")
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class WorkerPoolHost:
+    """N worker processes, nodes partitioned round-robin."""
+
+    def __init__(self, topology: Topology, tenant_slos: Sequence[tuple],
+                 template, obs: bool, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._order = topology.node_names
+        workers = min(workers, len(self._order))
+        assigned: List[List[str]] = [[] for _ in range(workers)]
+        for i, name in enumerate(self._order):
+            assigned[i % workers].append(name)
+        ctx = _mp_context()
+        self._conns = []
+        self._procs = []
+        self._names: List[List[str]] = assigned
+        for names in assigned:
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, topology, names, list(tenant_slos),
+                      template, obs),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def step(self, epoch_end: float,
+             inboxes: Dict[str, List[Message]]) -> Dict[str, StepResult]:
+        # fan the command out to every worker *before* reading any
+        # reply — this is where the wall-clock parallelism comes from
+        for conn, names in zip(self._conns, self._names):
+            conn.send(("step", epoch_end,
+                       {n: inboxes[n] for n in names if n in inboxes}))
+        results: Dict[str, StepResult] = {}
+        for conn in self._conns:
+            results.update(conn.recv())
+        return results
+
+    def finish(self) -> Dict[str, tuple]:
+        for conn in self._conns:
+            conn.send(("finish",))
+        results: Dict[str, tuple] = {}
+        for conn in self._conns:
+            results.update(conn.recv())
+        return results
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+
+
+def make_host(topology: Topology, tenant_slos: Sequence[tuple],
+              template, obs: bool, workers: int):
+    """``workers == 0`` -> sequential reference; ``>= 1`` -> pool."""
+    if workers == 0:
+        return InProcessHost(topology, tenant_slos, template, obs)
+    return WorkerPoolHost(topology, tenant_slos, template, obs, workers)

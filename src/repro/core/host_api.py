@@ -167,7 +167,11 @@ class PagodaHost:
             cpu.sched = 1
             if self._prev_unpromoted == task_id:
                 self._prev_unpromoted = None
-            yield from self.table.push_state_to_gpu(col, row)
+            # guarded landing: the GPU scheduler can resolve a
+            # successor's pipelining pointer while this promotion is
+            # on the bus; the loser's write must not re-arm `sched`
+            yield from self.table.push_state_to_gpu(
+                col, row, expect_task_id=task_id)
         else:
             # already promoted (a successor arrived meanwhile) or done
             if self._prev_unpromoted == task_id:

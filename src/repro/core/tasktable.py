@@ -398,13 +398,27 @@ class TaskTable:
         yield 2 * half
         self.entry_copies += 1
 
-    def push_state_to_gpu(self, col: int, row: int) -> Generator:
+    def push_state_to_gpu(self, col: int, row: int,
+                          expect_task_id: Optional[int] = None) -> Generator:
         """Host update of just the protocol words of one entry (used by
-        the idle-host finalization of the last task)."""
+        the idle-host finalization of the last task).
+
+        ``expect_task_id`` guards the landing: while this write crosses
+        the bus, the GPU scheduler may promote the same entry itself (a
+        successor's pipelining pointer resolving concurrently with the
+        idle-host promotion).  If by landing time the entry no longer
+        holds that task at ``(READY_COPIED, 0)``, the write is dropped —
+        re-arming a ``sched`` flag the device already consumed would
+        schedule the task twice and corrupt its in-flight exec state.
+        """
         src = self.cpu[col][row]
         yield self.timing.entry_post_ns  # the host's own posting store
         yield self.timing.mapped_write_ns
         dst = self.gpu[col][row]
+        if expect_task_id is not None and (
+                dst.task_id != expect_task_id
+                or dst.protocol_state() != (READY_COPIED, 0)):
+            return
         dst.ready = src.ready
         dst.sched = src.sched
         self.mark_row_dirty(col, row)

@@ -29,6 +29,7 @@ from repro.obs.perfetto import (
 )
 from repro.obs.profiler import ProcStat, SimProfiler
 from repro.obs.registry import (
+    AGGREGATE_SCHEMA,
     NULL_COUNTER,
     NULL_DISTRIBUTION,
     NULL_GAUGE,
@@ -41,11 +42,14 @@ from repro.obs.registry import (
     Obs,
     Series,
     VtHistogram,
+    aggregate_snapshots,
     validate_snapshot,
 )
 
 __all__ = [
     "Obs",
+    "AGGREGATE_SCHEMA",
+    "aggregate_snapshots",
     "Counter",
     "Gauge",
     "Distribution",

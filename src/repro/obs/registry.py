@@ -368,6 +368,94 @@ class Obs:
         return validate_snapshot(snap)
 
 
+#: schema tag of a cross-node merged snapshot.
+AGGREGATE_SCHEMA = "repro.obs/aggregate/1"
+
+
+def aggregate_snapshots(snaps: Dict[str, dict]) -> dict:
+    """Merge per-node :meth:`Obs.snapshot` dicts into one fleet digest.
+
+    ``snaps`` maps node name -> snapshot (each validated against
+    ``repro.obs/1``).  Counters, distribution mass, series samples and
+    event counts are summed; gauge peaks and clocks take the max;
+    gauge averages combine time-weighted by each node's clock.
+    Determinism carries over: the output is a pure function of the
+    inputs with sorted keys, independent of dict iteration order.
+    Percentile fields (vt-histogram p50/p99) are *not* mergeable from
+    digests and are dropped — only the total dwell mass survives.
+    """
+    if not snaps:
+        raise ValueError("nothing to aggregate")
+    parts = [validate_snapshot(snaps[name]) for name in sorted(snaps)]
+
+    def _names(section: str) -> List[str]:
+        return sorted({n for p in parts for n in p[section]})
+
+    def _rows(section: str, name: str) -> List[dict]:
+        return [p[section][name] for p in parts if name in p[section]]
+
+    counters = {
+        n: sum(p["counters"].get(n, 0) for p in parts)
+        for n in _names("counters")
+    }
+    total_now = sum(p["now_ns"] for p in parts)
+    gauges = {}
+    for n in _names("gauges"):
+        rows = _rows("gauges", n)
+        weighted = sum(
+            p["gauges"][n]["average"] * p["now_ns"]
+            for p in parts if n in p["gauges"]
+        )
+        gauges[n] = {
+            "current": sum(r["current"] for r in rows),
+            "peak": max(r["peak"] for r in rows),
+            "average": round(weighted / total_now, 6) if total_now else 0.0,
+        }
+    distributions = {}
+    for n in _names("distributions"):
+        rows = _rows("distributions", n)
+        count = sum(r["count"] for r in rows)
+        total = sum(r["sum"] for r in rows)
+        distributions[n] = {
+            "count": count,
+            "sum": round(total, 6),
+            "mean": round(total / count, 6) if count else 0.0,
+            "min": min(r["min"] for r in rows),
+            "max": max(r["max"] for r in rows),
+        }
+    vt_histograms = {
+        n: {"total_weight_ns": round(
+            sum(r["total_weight_ns"] for r in _rows("vt_histograms", n)),
+            6)}
+        for n in _names("vt_histograms")
+    }
+    series = {
+        n: {"samples": sum(r["samples"] for r in _rows("series", n))}
+        for n in _names("series")
+    }
+    agg: dict = {
+        "schema": AGGREGATE_SCHEMA,
+        "nodes": sorted(snaps),
+        "now_ns": max(p["now_ns"] for p in parts),
+        "counters": counters,
+        "gauges": gauges,
+        "distributions": distributions,
+        "vt_histograms": vt_histograms,
+        "series": series,
+        "events": {
+            "instants": sum(p["events"]["instants"] for p in parts),
+            "spans": sum(p["events"]["spans"] for p in parts),
+        },
+    }
+    sims = [p["sim"] for p in parts if "sim" in p]
+    if sims:
+        agg["sim"] = {
+            "events_executed": sum(s["events_executed"] for s in sims),
+            "final_now_ns": max(s["final_now_ns"] for s in sims),
+        }
+    return agg
+
+
 def validate_snapshot(snap: dict) -> dict:
     """Check a snapshot against the ``repro.obs/1`` shape; returns it.
 

@@ -57,6 +57,7 @@ from repro.serve.policies import (
     TenantFairQueue,
     TokenBucket,
 )
+from repro.serve.remote import NodeFrontend, RemoteArrivals, remote_tenants
 from repro.serve.report import ServeReport, build_report
 from repro.serve.server import (
     STAGES,
@@ -90,6 +91,9 @@ __all__ = [
     "slo_priority",
     "apply_slo",
     "LatencyHistogram",
+    "NodeFrontend",
+    "RemoteArrivals",
+    "remote_tenants",
     "ServeReport",
     "build_report",
     "STAGES",

@@ -139,6 +139,25 @@ class IngressQueue:
                 return q
         raise IndexError("pop from empty ingress queue")
 
+    def clear(self) -> List[Request]:
+        """Empty the queue, returning the evicted requests in queue
+        order (the node-death failover path; ``max_depth_seen`` is
+        deliberately preserved for the post-mortem report)."""
+        evicted: List[Request] = []
+        if self.fair:
+            n = len(self._names)
+            while self._len:
+                q = self._per_tenant[self._names[self._rr % n]]
+                self._rr = (self._rr + 1) % n
+                while q:
+                    evicted.append(q.popleft())
+                    self._len -= 1
+        else:
+            evicted.extend(self._fifo)
+            self._fifo.clear()
+            self._len = 0
+        return evicted
+
     def pop_batch(self, policy: BatchPolicy) -> List[Request]:
         """Pop the next request plus any fusable run behind it.
 
@@ -172,7 +191,11 @@ class ServeConfig:
     batch: BatchPolicy = field(default_factory=BatchPolicy)
     #: the underlying runtime's configuration (fault plans, watchdog,
     #: deferred scheduling for SLO priorities, ... all plug in here).
-    pagoda: PagodaConfig = field(default_factory=PagodaConfig)
+    #: Serving defaults to the **fast engine lane** (bit-identical to
+    #: the default lane by the differential contract, ~2x on wide
+    #: fans); pass ``PagodaConfig(lane="default")`` to opt out.
+    pagoda: PagodaConfig = field(
+        default_factory=lambda: PagodaConfig(lane="fast"))
     #: Pagoda stacks behind the one ingress queue (shortest-queue
     #: placement; ``gpu.die`` fault specs are not served — device
     #: failover stays with :func:`repro.core.run_multi_gpu_pagoda`).
@@ -186,6 +209,10 @@ class ServeConfig:
 class TaskServer:
     """One serving run over a live Pagoda node."""
 
+    #: remote frontends (:class:`repro.serve.remote.NodeFrontend`)
+    #: receive their tasks by injection instead of local generators.
+    remote = False
+
     def __init__(self, tenants: List[TenantSpec],
                  config: Optional[ServeConfig] = None,
                  spec: Optional[GpuSpec] = None,
@@ -196,7 +223,7 @@ class TaskServer:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate tenant names in {names}")
         for t in tenants:
-            if not t.tasks:
+            if not t.tasks and not self.remote:
                 raise ValueError(f"tenant {t.name!r} has no tasks")
         self.tenants = list(tenants)
         self.config = config or ServeConfig()

@@ -669,6 +669,27 @@ class Engine:
             self.event_count += count
         return self.now
 
+    def run_until(self, when: float) -> float:
+        """Epoch-bounded drain: run to ``when`` and *pin the clock there*.
+
+        ``run(until=when)`` leaves ``now`` at the last dispatched event
+        when the queue drains early; conservative lockstep execution
+        (``repro.cluster``) needs every shard's clock parked exactly at
+        the epoch boundary so the next epoch's externally injected
+        arrivals can never look like scheduling in the past.  Pending
+        work beyond ``when`` is untouched (identical to ``run(until=
+        when)``); only an *idle* clock is advanced.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"cannot run backwards: {when} < {self.now}")
+        end = self.run(until=when)
+        if (end < when and not self._queue and not self._ready
+                and not self._times):
+            self.now = when
+            return when
+        return end
+
     def run_until_idle_processes(self, until: Optional[float] = None) -> float:
         """Like :meth:`run`, but also stops once no process is alive.
 

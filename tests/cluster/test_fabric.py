@@ -1,0 +1,53 @@
+"""Fabric invariants: the lookahead bound and deterministic delivery."""
+
+from repro.cluster import Fabric, NodeSpec, Topology
+from repro.cluster.fabric import FORWARD
+from repro.cluster.topology import ROUTER
+
+
+def _fabric(link_ns=25_000.0, **kw):
+    topo = Topology(nodes=[NodeSpec("n0"), NodeSpec("n1")],
+                    link_ns=link_ns, **kw)
+    return Fabric(topo)
+
+
+def test_message_never_arrives_in_its_send_epoch():
+    """The conservative-sync keystone: link latency >= epoch length,
+    so a message posted during epoch e lands in a bucket >= e+1."""
+    fab = _fabric()
+    for send_ns in (0.0, 1.0, 12_500.0, 24_999.9, 25_000.0, 60_001.0):
+        msg = fab.post(FORWARD, ROUTER, "n0", send_ns)
+        assert fab.epoch_of(msg.arrive_ns) > fab.epoch_of(msg.send_ns)
+
+
+def test_delivery_order_is_arrival_then_post_order():
+    fab = _fabric()
+    late = fab.post(FORWARD, ROUTER, "n0", 10.0)    # arrives 25_010
+    early = fab.post(FORWARD, ROUTER, "n0", 5.0)    # arrives 25_005
+    tied_a = fab.post(FORWARD, ROUTER, "n0", 5.0)   # same instant as early
+    got = fab.deliver(1)
+    assert got == [early, tied_a, late]
+    # equal arrive_ns ties break on global post order (seq)
+    assert (got[0].arrive_ns, got[0].seq) < (got[1].arrive_ns, got[1].seq)
+
+
+def test_buckets_are_consumed_and_pending_counts():
+    fab = _fabric()
+    fab.post(FORWARD, ROUTER, "n0", 0.0)       # epoch 1
+    fab.post(FORWARD, ROUTER, "n1", 30_000.0)  # epoch 2
+    assert fab.pending() == 2
+    assert fab.next_pending_epoch() == 1
+    assert len(fab.deliver(1)) == 1
+    assert fab.deliver(1) == []                # consumed
+    assert fab.pending() == 1
+    assert fab.next_pending_epoch() == 2
+    fab.deliver(2)
+    assert fab.pending() == 0
+    assert fab.next_pending_epoch() == -1
+
+
+def test_latency_accounting_uses_link_overrides():
+    fab = _fabric(links={(ROUTER, "n0"): 40_000.0})
+    fab.post(FORWARD, ROUTER, "n0", 0.0)
+    fab.post(FORWARD, ROUTER, "n1", 0.0)
+    assert fab.latency_sum_ns == 40_000.0 + 25_000.0

@@ -1,0 +1,101 @@
+"""Stepped NodeFrontend semantics: inject, step, drain, abort."""
+
+import pytest
+
+from repro.gpu.phases import Phase
+from repro.serve import NodeFrontend, ServeConfig, remote_tenants
+from repro.serve.slo import SloClass
+from repro.tasks import TaskSpec
+
+
+def _kernel(task, block_id, warp_id):
+    yield Phase(inst=5_000.0, mem_bytes=512)
+
+
+def _spec(name="k0"):
+    return TaskSpec(name, 64, 1, _kernel)
+
+
+def _frontend():
+    fe = NodeFrontend(remote_tenants([("t", SloClass())]), ServeConfig())
+    fe.start()
+    return fe
+
+
+def test_run_to_quiescence_is_refused():
+    fe = _frontend()
+    with pytest.raises(TypeError, match="stepped"):
+        fe.run()
+
+
+def test_step_before_start_is_refused():
+    fe = NodeFrontend(remote_tenants([("t", SloClass())]), ServeConfig())
+    with pytest.raises(RuntimeError, match="start"):
+        fe.step_until(1.0)
+
+
+def test_inject_step_drain_accounts_every_request():
+    fe = _frontend()
+    for rid in range(4):
+        fe.inject(rid, "t", _spec(f"k{rid}"), at_ns=10_000.0 * (rid + 1))
+    assert fe.busy()
+    fe.step_until(5_000.0)          # before the first arrival
+    assert fe.engine.now == 5_000.0
+    assert fe.status()["offered"] == 0
+    fe.step_until(45_000.0)         # all four arrival instants passed
+    assert fe.status()["offered"] == 4
+    report = fe.close_and_drain()
+    assert report.completed == 4
+    assert not fe.busy()
+    assert fe.status()["alive"] == 1
+
+
+def test_unknown_tenant_and_closed_frontend_are_refused():
+    fe = _frontend()
+    with pytest.raises(KeyError, match="nobody"):
+        fe.inject(0, "nobody", _spec(), at_ns=1.0)
+    fe.close_and_drain()
+    with pytest.raises(RuntimeError, match="closed"):
+        fe.inject(0, "t", _spec(), at_ns=1.0)
+
+
+def test_step_until_pins_clock_forward_on_idle():
+    fe = _frontend()
+    fe.step_until(30_000.0)
+    assert fe.engine.now == 30_000.0
+    fe.step_until(60_000.0)
+    assert fe.engine.now == 60_000.0
+
+
+def test_abort_hands_back_unanswered_requests_in_rid_order():
+    fe = _frontend()
+    # one request arriving well before the abort (it will complete),
+    # two in-window and one whose arrival instant is never reached
+    fe.inject(7, "t", _spec("early"), at_ns=1_000.0)
+    fe.inject(3, "t", _spec("mid"), at_ns=299_000.0)
+    fe.inject(9, "t", _spec("late"), at_ns=299_500.0)
+    fe.inject(5, "t", _spec("never"), at_ns=900_000.0)
+    fe.step_until(200_000.0)
+    report, respawns = fe.abort(300_000.0)
+    assert [rid for rid, _, _ in respawns] == sorted(
+        rid for rid, _, _ in respawns)
+    names = {spec.name for _, _, spec in respawns}
+    assert "never" in names and "early" not in names
+    assert fe.failed_over == len(respawns)
+    status = fe.status()
+    assert status["alive"] == 0
+    assert status["queued"] == status["inflight"] == status["pending"] == 0
+    assert report.completed == 1
+    with pytest.raises(RuntimeError, match="aborted"):
+        fe.abort(300_000.0)
+    with pytest.raises(RuntimeError, match="closed"):
+        fe.inject(11, "t", _spec(), at_ns=400_000.0)
+
+
+def test_status_is_plain_ints():
+    fe = _frontend()
+    fe.inject(0, "t", _spec(), at_ns=1_000.0)
+    for key, value in fe.status().items():
+        assert type(value) is int, (key, value)
+    fe.step_until(50_000.0)
+    fe.close_and_drain()
