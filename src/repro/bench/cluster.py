@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 from repro.bench.reporting import format_table
 from repro.cluster import ConsistentHashRouter, NodeSpec, Topology, run_cluster
+from repro.faults import FaultPlan, FaultSpec
 from repro.gpu.phases import Phase
 from repro.serve import PoissonArrivals, TenantSpec
 from repro.serve.slo import SloClass
@@ -40,6 +41,8 @@ REQUESTS = 480
 #: link means fewer coordinator round-trips per virtual second —
 #: the measurement wants per-epoch shard compute, not pipe chatter.
 LINK_NS = 200_000.0
+#: wire-loss probability of the degraded-fleet scenario.
+DEGRADED_DROP_RATE = 0.01
 
 
 def _bench_kernel(task, block_id, warp_id):
@@ -83,6 +86,50 @@ def run_fleet(workers: int, nodes: int = FLEET_NODES) -> str:
     return report.to_json()
 
 
+def degraded_plan() -> FaultPlan:
+    """The degraded-fabric scenario: every message on every link is
+    lost with probability :data:`DEGRADED_DROP_RATE` (a rate-based
+    ``fabric.link.drop`` — hash-derived per message id, so the loss
+    pattern is seed-stable and worker-count-free)."""
+    return FaultPlan(specs=[
+        FaultSpec(kind="fabric.link.drop",
+                  meta={"rate": DEGRADED_DROP_RATE}),
+    ], seed=1)
+
+
+def measure_degraded() -> Dict[str, float]:
+    """The fleet scenario over a 1%-lossy fabric.
+
+    ``fleet_degraded_throughput`` is *virtual-time* throughput
+    (completions per simulated second), so it is deterministic — it
+    measures how much fleet goodput the reliability layer preserves
+    under wire loss, not host speed.  Conservation is asserted before
+    any number is returned: a degraded fleet that loses a request has
+    no throughput worth reporting.
+    """
+    topology = fleet_topology()
+    start = time.perf_counter()
+    rep = run_cluster(
+        fleet_tenants(), topology,
+        router=ConsistentHashRouter(topology, key="request"),
+        workers=0, label="bench-cluster-degraded",
+        fabric_plan=degraded_plan(),
+    )
+    wall = time.perf_counter() - start
+    frontier = rep.frontier
+    answered = (frontier["completed"] + frontier["failed"]
+                + frontier["dropped"])
+    if frontier["offered"] != answered:
+        raise RuntimeError(
+            f"degraded fleet lost requests: {frontier}")
+    return {
+        "fleet_degraded_throughput": round(rep.throughput_per_s, 3),
+        "degraded_wall_s": round(wall, 4),
+        "retransmits": rep.fabric_retransmits,
+        "wire_dropped": rep.fabric_wire_dropped,
+    }
+
+
 def measure_speedup(workers: int = FLEET_NODES) -> Dict[str, float]:
     """Time the scenario sequentially and sharded; verify identity.
 
@@ -118,6 +165,7 @@ def run(workers: Optional[int] = None) -> Dict:
     digest = json.loads(run_fleet(workers=0))
     return {
         "measured": measured,
+        "degraded": measure_degraded(),
         "totals": digest["totals"],
         "routing": digest["routing"],
         "epochs": digest["sync"]["epochs"],
@@ -135,10 +183,19 @@ def report(results: Dict) -> str:
          f"{m['cluster_speedup']:.2f}x"],
     ]
     table = format_table(["configuration", "wall s", "speedup"], rows)
+    deg = results.get("degraded")
+    degraded_line = ""
+    if deg:
+        degraded_line = (
+            f"\nDegraded fabric ({DEGRADED_DROP_RATE:.0%} wire loss): "
+            f"{deg['fleet_degraded_throughput']:,.0f} completions/vs, "
+            f"{deg['wire_dropped']} drops recovered by "
+            f"{deg['retransmits']} retransmits"
+        )
     return (
         "Cluster fleet: "
         f"{FLEET_NODES} nodes, {totals['offered']} requests offered, "
         f"{totals['completed']} completed over {results['epochs']} "
         f"epochs (byte-identity verified, {results['cores']} cores)\n"
-        f"{table}"
+        f"{table}{degraded_line}"
     )

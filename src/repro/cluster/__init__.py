@@ -10,17 +10,30 @@ boundaries only — which makes the run exact, deterministic, and
 byte-replayable from ``(tenants, topology, router, seeds)`` no matter
 how many worker processes host the shards.
 
+The fabric doesn't have to be reliable: arm a seeded ``fabric.*``
+:class:`~repro.faults.FaultPlan` (drops, duplicates, delay spikes,
+partitions, gray-failure pauses) and the coordinator switches to
+at-least-once messaging with ack/retransmit, an answer ledger,
+digest-visibility health suspicion (suspect → quarantine →
+probation, :mod:`repro.cluster.health`), and hedged re-routing —
+still byte-identical for any worker count.
+
 Entry point: :func:`run_cluster`.  Routing policies live in
-:mod:`repro.cluster.router`; see ``docs/INTERNALS.md`` §12 for the
-synchronization protocol and the determinism argument, and
-``docs/EXTENDING.md`` for the custom-router recipe.
+:mod:`repro.cluster.router`; see ``docs/INTERNALS.md`` §12-§13 for
+the synchronization protocol, the determinism argument, and the
+fault/self-healing machinery, and ``docs/EXTENDING.md`` for the
+custom-router and fabric-fault recipes.
 """
 
 from repro.cluster.driver import run_cluster
-from repro.cluster.fabric import FORWARD, RESPAWN, Fabric, Message
+from repro.cluster.fabric import (ACK, ANSWER, FORWARD, RESPAWN, Fabric,
+                                  FabricPolicy, Message)
+from repro.cluster.health import (DegradationEvent, HealthPolicy,
+                                  HealthTracker)
 from repro.cluster.node import NodeShard
 from repro.cluster.report import FleetReport
 from repro.cluster.report import SCHEMA as FLEET_SCHEMA
+from repro.cluster.report import SCHEMA_RELIABLE as FLEET_SCHEMA_RELIABLE
 from repro.cluster.router import (
     ConsistentHashRouter,
     FleetView,
@@ -30,20 +43,28 @@ from repro.cluster.router import (
     SloAwareRouter,
 )
 from repro.cluster.topology import ROUTER, NodeSpec, Topology
-from repro.cluster.worker import InProcessHost, WorkerPoolHost
+from repro.cluster.worker import (ClusterWorkerError, InProcessHost,
+                                  WorkerPoolHost)
 
 __all__ = [
     "run_cluster",
     "FleetReport",
     "FLEET_SCHEMA",
+    "FLEET_SCHEMA_RELIABLE",
     "Topology",
     "NodeSpec",
     "ROUTER",
     "Fabric",
+    "FabricPolicy",
     "Message",
     "FORWARD",
     "RESPAWN",
+    "ANSWER",
+    "ACK",
     "NodeShard",
+    "HealthPolicy",
+    "HealthTracker",
+    "DegradationEvent",
     "RouterPolicy",
     "RouteRequest",
     "FleetView",
@@ -52,4 +73,5 @@ __all__ = [
     "SloAwareRouter",
     "InProcessHost",
     "WorkerPoolHost",
+    "ClusterWorkerError",
 ]

@@ -16,33 +16,73 @@ generators), then advances the whole fleet one *epoch* at a time:
 3. **step** — every shard ingests its inbox and advances its own
    engine to the epoch boundary (in parallel across worker processes,
    or sequentially in-process — same protocol, same bytes);
-4. **exchange** — shard outboxes (failover respawns, bounces) go onto
-   the fabric; status digests become the next epoch's router view.
+4. **exchange** — shard outboxes (failover respawns, bounces,
+   answers) go onto the fabric; status digests become the next
+   epoch's router view.
 
 Because the epoch length never exceeds the fabric lookahead (minimum
 link latency), a message sent during epoch ``e`` cannot arrive before
 epoch ``e+1`` — boundary-only exchange is *exact*, not an
 approximation, and the run is deterministic for any worker count
 (``docs/INTERNALS.md`` §12 gives the full argument).
+
+**Unreliable fabric.**  Passing a non-zero ``fabric.*``
+:class:`~repro.faults.FaultPlan` switches the fabric onto its
+reliable lane and arms the coordinator's self-healing layer:
+
+- every data message is acked on delivery and retransmitted with
+  capped exponential backoff until acked (:meth:`Fabric.sweep`);
+  receiver-side dedup keeps at-least-once exactly-once;
+- nodes report each request's terminal outcome as an ``ANSWER``; the
+  coordinator's **ledger** (first answer wins) is the fleet frontier
+  — quiescence additionally requires every arrival answered;
+- digest visibility drives a suspect → quarantine → probation health
+  machine (:mod:`repro.cluster.health`); suspect/quarantined nodes
+  are overlaid dead in the router's view, quarantined nodes' pending
+  retransmits are abandoned (their requests get hedged instead);
+- requests whose every placement has gone bad are **hedged** onto a
+  good node; ``FORWARD``s that exhaust their retransmit budget are
+  dead-lettered and re-routed; placements with no routable node at
+  all are deferred and retried each epoch.
+
+All of it runs coordinator-side from boundary-instant data, so a
+fault-plan run is *still* byte-identical for any worker count, and a
+zero/absent plan leaves every legacy code path — and the report
+bytes — untouched (asserted by ``tests/cluster/test_chaos.py``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.cluster.fabric import FORWARD, RESPAWN, Fabric
+from repro.cluster.fabric import (ACK, ANSWER, FORWARD, RESPAWN, Fabric,
+                                  FabricPolicy)
+from repro.cluster.health import (QUARANTINED, DegradationEvent,
+                                  HealthPolicy, HealthTracker)
 from repro.cluster.report import FleetReport
 from repro.cluster.router import (ConsistentHashRouter, FleetView,
                                   RouteRequest, RouterPolicy)
 from repro.cluster.topology import ROUTER, Topology
 from repro.cluster.worker import make_host
+from repro.faults.injector import FabricInjector
+from repro.faults.plan import FaultPlan
 from repro.serve.server import ServeConfig, TenantSpec
 
 #: blank per-node digest for epoch 0 (before any status exchange).
 _FRESH_STATUS = {
     "alive": 1, "queued": 0, "inflight": 0, "pending": 0,
     "offered": 0, "admitted": 0, "completed": 0, "failed": 0,
-    "dropped": 0, "failed_over": 0, "bounced": 0,
+    "dropped": 0, "failed_over": 0, "dup_suppressed": 0, "bounced": 0,
+}
+
+#: health transition -> DegradationEvent kind.
+_TRANSITION_KIND = {
+    ("healthy", "suspect"): "suspect",
+    ("suspect", "quarantined"): "quarantine",
+    ("suspect", "healthy"): "readmit",
+    ("quarantined", "probation"): "probation",
+    ("probation", "healthy"): "readmit",
+    ("probation", "quarantined"): "relapse",
 }
 
 
@@ -69,12 +109,20 @@ def run_cluster(
     obs: bool = False,
     label: str = "cluster",
     max_epochs: Optional[int] = None,
+    fabric_plan: Optional[FaultPlan] = None,
+    fabric_policy: Optional[FabricPolicy] = None,
+    health: Optional[HealthPolicy] = None,
 ) -> FleetReport:
     """Run one fleet experiment; returns the :class:`FleetReport`.
 
     ``workers=0`` steps every shard sequentially in this process (the
     reference execution); ``workers=N`` shards the fleet across ``N``
     worker processes.  The report bytes are identical either way.
+
+    ``fabric_plan`` arms fabric-layer faults (``fabric.*`` kinds
+    only) and, with them, the reliable messaging + self-healing
+    routing lane; ``None`` or a zero plan runs the legacy fabric
+    bit-identically to a plan-less build.
     """
     if not tenants:
         raise ValueError("need at least one tenant")
@@ -97,11 +145,37 @@ def run_cluster(
     identity: Dict[int, Tuple[str, int]] = {
         rid: (row[1], row[2]) for rid, row in enumerate(arrivals)
     }
+    spec_of = {rid: row[3] for rid, row in enumerate(arrivals)}
 
-    fabric = Fabric(topology)
+    injector = None
+    if fabric_plan is not None and not fabric_plan.is_zero:
+        injector = FabricInjector(fabric_plan)
+    reliable = injector is not None
+    fabric = Fabric(topology, injector=injector, policy=fabric_policy)
     epoch_len = topology.epoch_length_ns
     tenant_slos = [(t.name, t.slo) for t in tenants]
-    host = make_host(topology, tenant_slos, serve, obs, workers)
+    host = make_host(topology, tenant_slos, serve, obs, workers,
+                     reliable=reliable)
+
+    health = health or HealthPolicy()
+    tracker = HealthTracker(topology.node_names, health) \
+        if reliable else None
+    #: rid -> terminal outcome, first answer wins (the fleet frontier).
+    ledger: Dict[int, str] = {}
+    #: rid -> nodes it was placed on, in placement order.
+    placements: Dict[int, List[str]] = {}
+    #: placements waiting for any routable node: (RouteRequest, payload).
+    deferred: List[tuple] = []
+    deferred_rids: set = set()
+    events: List[DegradationEvent] = []
+    hedge_dups = 0
+    hedges = 0
+    rerouted = 0
+    deferred_total = 0
+    cobs = None
+    if obs and reliable:
+        from repro.obs import Obs
+        cobs = Obs(profile=False)
 
     if max_epochs is None:
         last_at = arrivals[-1][0]
@@ -109,27 +183,95 @@ def run_cluster(
 
     view = FleetView({name: dict(_FRESH_STATUS)
                       for name in topology.node_names})
+    rview = view  # routing view: `view` with the health overlay
     routed = {name: 0 for name in topology.node_names}
     respawned = 0
     cursor = 0  # next undispatched row of `arrivals`
     statuses: Dict[str, Dict[str, int]] = view.statuses
     epoch = 0
 
-    def _place(req: RouteRequest, send_ns: float, payload) -> None:
-        dst = router.route(req, view)
+    def _route_view() -> FleetView:
+        if not reliable:
+            return view
+        overlay = {}
+        for name, s in view.statuses.items():
+            if tracker.routable(name):
+                overlay[name] = s
+            else:
+                bad = dict(s)
+                bad["alive"] = 0
+                overlay[name] = bad
+        return FleetView(overlay)
+
+    def _place(req: RouteRequest, send_ns: float, payload) -> Optional[str]:
+        nonlocal deferred_total
+        try:
+            dst = router.route(req, rview)
+        except RuntimeError:
+            if not reliable:
+                raise
+            # nothing routable right now: park it, retry every epoch
+            deferred.append((req, payload))
+            deferred_rids.add(req.rid)
+            deferred_total += 1
+            events.append(DegradationEvent(send_ns, "defer", ROUTER,
+                                           rid=req.rid))
+            return None
         fabric.post(FORWARD, ROUTER, dst, send_ns, payload)
+        if reliable:
+            placements.setdefault(req.rid, []).append(dst)
         if not req.respawn:
             routed[dst] += 1
+        return dst
+
+    def _replay(rid: int) -> Tuple[RouteRequest, tuple]:
+        tenant, index = identity[rid]
+        spec = spec_of[rid]
+        req = RouteRequest(rid=rid, tenant=tenant, index=index,
+                           kernel=spec.name, num_blocks=spec.num_blocks,
+                           deadline_ns=deadline_of[tenant], respawn=True)
+        return req, (rid, tenant, spec)
 
     try:
         while True:
             boundary = (epoch + 1) * epoch_len
+            epoch_start = epoch * epoch_len
             inboxes: Dict[str, list] = {}
+            if reliable and deferred:
+                # retry parked placements before this epoch's traffic
+                parked, deferred = deferred, []
+                for req, payload in parked:
+                    try:
+                        dst = router.route(req, rview)
+                    except RuntimeError:
+                        deferred.append((req, payload))
+                        continue
+                    deferred_rids.discard(req.rid)
+                    fabric.post(FORWARD, ROUTER, dst, epoch_start, payload)
+                    placements.setdefault(req.rid, []).append(dst)
+                    if not req.respawn:
+                        routed[dst] += 1
             for msg in fabric.deliver(epoch):
+                if reliable:
+                    if msg.kind == ACK:
+                        fabric.ack(msg.payload)
+                        continue
+                    fabric.send_ack(msg)
+                    if not fabric.first_delivery(msg):
+                        continue  # retransmit / fault duplicate
+                    if msg.kind == ANSWER:
+                        rid, outcome = msg.payload
+                        if rid in ledger:
+                            hedge_dups += 1  # a hedge raced it home
+                        else:
+                            ledger[rid] = outcome
+                        continue
                 if msg.dst == ROUTER:
                     # a node handed a request back (death failover or
                     # dead-node bounce): re-place it on a live node
                     rid, tenant, spec = msg.payload
+                    if reliable and rid in ledger:
+                        continue  # already answered elsewhere
                     index = identity[rid][1]
                     respawned += 1
                     _place(
@@ -160,8 +302,76 @@ def run_cluster(
             view = FleetView(statuses)
             epoch += 1
 
+            if reliable:
+                # health: fold this boundary's digest visibility in
+                heard = {name: not injector.blackout(name, boundary)
+                         for name in topology.node_names
+                         if statuses[name]["alive"]}
+                for node, old, new in tracker.observe(heard):
+                    kind = _TRANSITION_KIND[(old, new)]
+                    events.append(DegradationEvent(boundary, kind, node))
+                    if cobs is not None:
+                        cobs.instant("health", kind, boundary, node=node)
+                # a quarantined node's retransmits are going nowhere —
+                # abandon them (every epoch: gray nodes keep emitting)
+                for node in tracker.bad_nodes():
+                    if tracker.state[node] == QUARANTINED:
+                        fabric.abandon_from(node)
+                rview = _route_view()
+                # hedge: any unanswered request stuck entirely behind
+                # bad (suspect/quarantined/dead) placements re-routes
+                bad = set(tracker.bad_nodes()) | {
+                    n for n in topology.node_names
+                    if not statuses[n]["alive"]}
+                if bad:
+                    for rid in sorted(placements):
+                        if rid in ledger or rid in deferred_rids:
+                            continue
+                        if not all(n in bad for n in placements[rid]):
+                            continue
+                        hedges += 1
+                        req, payload = _replay(rid)
+                        dst = _place(req, boundary, payload)
+                        events.append(DegradationEvent(
+                            boundary, "hedge", dst or ROUTER, rid=rid))
+                # retransmit sweep + dead-letter re-routing
+                retried, dead = fabric.sweep(boundary)
+                for rec in retried:
+                    events.append(DegradationEvent(
+                        boundary, "retransmit", rec.dst, mid=rec.mid,
+                        rid=rec.payload[0], detail=rec.kind))
+                for rec in dead:
+                    rid = rec.payload[0]
+                    events.append(DegradationEvent(
+                        boundary, "dead_letter", rec.dst, mid=rec.mid,
+                        rid=rid))
+                    placed = placements.get(rid, [])
+                    if rec.dst in placed:
+                        placed.remove(rec.dst)  # that placement failed
+                    if rid in ledger or rid in deferred_rids:
+                        continue
+                    if any(statuses[n]["alive"] and tracker.routable(n)
+                           for n in placed):
+                        continue  # a surviving placement may still win
+                    rerouted += 1
+                    req, payload = _replay(rid)
+                    dst = _place(req, boundary, payload)
+                    events.append(DegradationEvent(
+                        boundary, "reroute", dst or ROUTER, rid=rid))
+                if cobs is not None:
+                    cobs.timeline("fabric.unacked").set(
+                        boundary, fabric.unacked_count())
+                    cobs.timeline("cluster.bad_nodes").set(
+                        boundary, len(bad))
+            else:
+                rview = view
+
             done = (cursor == len(arrivals)
                     and fabric.pending() == 0
+                    and not deferred
+                    and (not reliable
+                         or (fabric.unacked_count() == 0
+                             and len(ledger) == len(arrivals)))
                     and not any(
                         s["alive"] and (s["queued"] + s["inflight"]
                                         + s["pending"])
@@ -172,6 +382,7 @@ def run_cluster(
                 raise RuntimeError(
                     f"fleet did not quiesce within {max_epochs} epochs "
                     f"({fabric.pending()} messages in flight, "
+                    f"{fabric.unacked_count()} unacked, "
                     f"{len(arrivals) - cursor} arrivals unrouted)"
                 )
 
@@ -184,9 +395,44 @@ def run_cluster(
     obs_agg = None
     if obs:
         from repro.obs import aggregate_snapshots
-        obs_agg = aggregate_snapshots({
-            name: finished[name][1] for name in topology.node_names
-        })
+        snaps = {name: finished[name][1]
+                 for name in topology.node_names}
+        if cobs is not None:
+            for cname, value in (
+                ("fabric.retransmits", fabric.retransmits),
+                ("fabric.dead_lettered", fabric.dead_lettered),
+                ("fabric.acked", fabric.acked),
+                ("fabric.dup_suppressed", fabric.dup_suppressed),
+                ("fabric.abandoned", fabric.abandoned),
+                ("fabric.wire_dropped", fabric.wire_dropped),
+                ("fabric.wire_held", fabric.wire_held),
+                ("cluster.hedges", hedges),
+                ("cluster.hedge_dups", hedge_dups),
+                ("cluster.rerouted", rerouted),
+                ("cluster.deferred", deferred_total),
+            ):
+                cobs.counter(cname).inc(value)
+            snaps["@fabric"] = cobs.snapshot()
+        obs_agg = aggregate_snapshots(snaps)
+
+    frontier: Dict[str, int] = {}
+    health_final: Dict[str, str] = {}
+    fired: Dict[str, int] = {}
+    plan_desc = ""
+    policy_desc = ""
+    health_desc = ""
+    if reliable:
+        frontier = {"offered": len(arrivals)}
+        for outcome in ("completed", "failed", "dropped"):
+            frontier[outcome] = sum(
+                1 for o in ledger.values() if o == outcome)
+        frontier["hedge_dups_suppressed"] = hedge_dups
+        health_final = tracker.final_states()
+        fired = injector.by_kind()
+        plan_desc = (f"fabric_plan(seed={fabric_plan.seed}, "
+                     f"specs={len(fabric_plan)})")
+        policy_desc = fabric.policy.describe()
+        health_desc = health.describe()
     return FleetReport(
         label=label,
         router=router.describe(),
@@ -201,4 +447,23 @@ def run_cluster(
         fabric_delivered=fabric.delivered,
         fabric_latency_sum_ns=fabric.latency_sum_ns,
         obs=obs_agg,
+        reliable=reliable,
+        fabric_retransmits=fabric.retransmits,
+        fabric_dead_lettered=fabric.dead_lettered,
+        fabric_acked=fabric.acked,
+        fabric_dup_suppressed=fabric.dup_suppressed,
+        fabric_abandoned=fabric.abandoned,
+        fabric_wire_dropped=fabric.wire_dropped,
+        fabric_wire_held=fabric.wire_held,
+        fabric_faults=fired,
+        fabric_plan_desc=plan_desc,
+        fabric_policy_desc=policy_desc,
+        hedges=hedges,
+        hedge_dups=hedge_dups,
+        rerouted=rerouted,
+        deferred=deferred_total,
+        frontier=frontier,
+        health_policy_desc=health_desc,
+        health_final=health_final,
+        degradations=events,
     )

@@ -9,6 +9,18 @@ the global post order.  Because every link is at least one lookahead
 long, a message posted during epoch ``e`` always lands in a bucket
 ``>= e+1``: delivery at epoch boundaries is exact, not approximate.
 
+A fabric built with a :class:`~repro.faults.injector.FabricInjector`
+(any non-zero ``fabric.*`` plan) runs the **reliable lane**: data
+kinds (:data:`FORWARD`/:data:`RESPAWN`/:data:`ANSWER`) carry a stable
+message id (``mid``, the seq of the first post) and attempt number,
+the receiver acks every delivery, and unacked messages are
+retransmitted with capped exponential backoff by the coordinator's
+per-epoch :meth:`Fabric.sweep` — at-least-once on the wire, kept
+exactly-once at the receiver by :meth:`Fabric.first_delivery` dedup.
+A fabric with no injector is the legacy lane and behaves
+bit-identically to the pre-fault fabric: no mids, no acks, no
+reliability state ever touched.
+
 Messages must pickle (they cross process boundaries in worker mode);
 payloads are task specs, plain tuples, and ints only.
 """
@@ -16,18 +28,31 @@ payloads are task specs, plain tuples, and ints only.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.topology import Topology
+from repro.faults.injector import DROP, HOLD, FabricInjector
 
 #: message kinds on the wire.
 FORWARD = "forward"    # router -> node: one routed request
 RESPAWN = "respawn"    # node -> router: failover re-spawn of a request
+ANSWER = "answer"      # node -> router: terminal outcome of a request
+ACK = "ack"            # receiver -> sender: delivery ack of one mid
+
+#: kinds carried reliably (ack + retransmit) on a faulted fabric.
+#: Acks themselves are fire-and-forget — a lost ack just costs one
+#: redundant retransmit, which the receiver dedups.
+DATA_KINDS = (FORWARD, RESPAWN, ANSWER)
 
 
 @dataclass(frozen=True)
 class Message:
-    """One unit crossing the fabric."""
+    """One unit crossing the fabric.
+
+    ``mid`` is the message's stable identity across retransmits (the
+    ``seq`` of its first post); ``attempt`` counts transmissions of
+    that identity.  Legacy-lane messages keep the defaults.
+    """
 
     kind: str
     src: str
@@ -36,14 +61,72 @@ class Message:
     arrive_ns: float
     seq: int
     payload: Any = field(default=None, compare=False)
+    mid: int = -1
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class FabricPolicy:
+    """Reliability knobs of the fabric's at-least-once lane.
+
+    ``rto_factor``
+        Retransmit timeout = ``rto_factor`` × round-trip estimate
+        (2 × link latency), floored at one epoch so a message is
+        retried at most once per barrier epoch.
+    ``backoff_cap_factor``
+        Exponential backoff multiplier cap: attempt *n* waits
+        ``rto × min(2^(n-1), cap)``.
+    ``max_attempts``
+        Router→node :data:`FORWARD`s dead-letter after this many
+        transmissions (the driver re-routes); node→router kinds
+        retry indefinitely (abandoned only by quarantine / ledger
+        rules in the driver).
+    """
+
+    rto_factor: float = 2.0
+    backoff_cap_factor: float = 8.0
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.rto_factor <= 0:
+            raise ValueError("rto_factor must be > 0")
+        if self.backoff_cap_factor < 1:
+            raise ValueError("backoff_cap_factor must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def describe(self) -> str:
+        """Stable one-line description (goes into the fleet report)."""
+        return (f"at-least-once(rto={self.rto_factor:g}x, "
+                f"cap={self.backoff_cap_factor:g}x, "
+                f"max_attempts={self.max_attempts})")
+
+
+@dataclass
+class _Pending:
+    """One unacked data message awaiting ack or retransmit."""
+
+    mid: int
+    kind: str
+    src: str
+    dst: str
+    payload: Any
+    attempt: int
+    due_ns: float
 
 
 class Fabric:
     """Latency-stamping, epoch-bucketing message switch."""
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(self, topology: Topology,
+                 injector: Optional[FabricInjector] = None,
+                 policy: Optional[FabricPolicy] = None) -> None:
         self.topology = topology
         self.epoch_ns = topology.epoch_length_ns
+        self.injector = injector
+        self.policy = policy or FabricPolicy()
+        #: reliable lane on? (fault plans only; legacy lane otherwise)
+        self.reliable = injector is not None
         self._seq = 0
         #: epoch index -> [Message, ...] in post order.
         self._buckets: Dict[int, List[Message]] = {}
@@ -51,24 +134,111 @@ class Fabric:
         self.delivered = 0
         #: total ns spent on the wire (for the fleet report).
         self.latency_sum_ns = 0.0
+        # -- reliable-lane state (all zero/empty on the legacy lane) --
+        #: mid -> unacked record awaiting ack or retransmit.
+        self._unacked: Dict[int, _Pending] = {}
+        #: (dst, mid) identities already delivered (receiver dedup).
+        self._seen: Set[Tuple[str, int]] = set()
+        self.retransmits = 0
+        self.dead_lettered = 0
+        self.acked = 0
+        self.dup_suppressed = 0
+        self.abandoned = 0
+        #: messages a fault removed from / stalled on the wire.
+        self.wire_dropped = 0
+        self.wire_held = 0
 
     def epoch_of(self, t_ns: float) -> int:
         """Index of the epoch window containing ``t_ns``."""
         return int(t_ns // self.epoch_ns)
 
+    # -- posting -------------------------------------------------------------
+
     def post(self, kind: str, src: str, dst: str, send_ns: float,
-             payload: Any = None) -> Message:
-        """Put one message on the wire; returns the stamped message."""
+             payload: Any = None, mid: Optional[int] = None,
+             attempt: int = 1) -> Optional[Message]:
+        """Put one message on the wire.
+
+        Returns the stamped message, or ``None`` when a fabric fault
+        removed it from the wire (reliable lane only — the unacked
+        record survives, so the sweep retransmits it).
+        """
         latency = self.topology.latency_ns(src, dst)
         self._seq += 1
-        msg = Message(kind=kind, src=src, dst=dst, send_ns=send_ns,
-                      arrive_ns=round(send_ns + latency, 3),
-                      seq=self._seq, payload=payload)
-        self._buckets.setdefault(self.epoch_of(msg.arrive_ns),
-                                 []).append(msg)
+        seq = self._seq
         self.posted += 1
         self.latency_sum_ns += latency
+        if not self.reliable:
+            msg = Message(kind=kind, src=src, dst=dst, send_ns=send_ns,
+                          arrive_ns=round(send_ns + latency, 3),
+                          seq=seq, payload=payload)
+            self._buckets.setdefault(self.epoch_of(msg.arrive_ns),
+                                     []).append(msg)
+            return msg
+        if mid is None:
+            mid = seq if kind in DATA_KINDS else -1
+        if kind in DATA_KINDS:
+            self._register(mid, kind, src, dst, payload, attempt,
+                           send_ns, latency)
+        inj = self.injector
+        draw_id = mid if mid >= 0 else seq
+        # fault pipeline: windows at the source, point drop, delay
+        # spike, windows at the destination, duplication.
+        fate, release, fkind = inj.node_fate(src, send_ns)
+        if fate == DROP:
+            inj.record(send_ns, fkind, (src, dst))
+            self.wire_dropped += 1
+            return None
+        send_eff = send_ns
+        if fate == HOLD:
+            inj.record(send_ns, fkind, (src, dst))
+            self.wire_held += 1
+            send_eff = release
+        if inj.draw("fabric.link.drop", send_ns, src, dst,
+                    draw_id, attempt) is not None:
+            self.wire_dropped += 1
+            return None
+        delay = 0.0
+        spike = inj.draw("fabric.link.delay_spike", send_ns, src, dst,
+                         draw_id, attempt)
+        if spike is not None:
+            delay = spike.magnitude_ns
+        arrive = round(send_eff + latency + delay, 3)
+        fate, release, fkind = inj.node_fate(dst, arrive)
+        if fate == DROP:
+            inj.record(arrive, fkind, (src, dst))
+            self.wire_dropped += 1
+            return None
+        if fate == HOLD:
+            inj.record(arrive, fkind, (src, dst))
+            self.wire_held += 1
+            arrive = round(release, 3)
+        msg = Message(kind=kind, src=src, dst=dst, send_ns=send_ns,
+                      arrive_ns=arrive, seq=seq, payload=payload,
+                      mid=mid, attempt=attempt)
+        self._buckets.setdefault(self.epoch_of(arrive), []).append(msg)
+        if inj.draw("fabric.link.dup", send_ns, src, dst,
+                    draw_id, attempt) is not None:
+            self._seq += 1
+            dup = Message(kind=kind, src=src, dst=dst, send_ns=send_ns,
+                          arrive_ns=arrive, seq=self._seq,
+                          payload=payload, mid=mid, attempt=attempt)
+            self._buckets.setdefault(self.epoch_of(arrive),
+                                     []).append(dup)
         return msg
+
+    def _register(self, mid: int, kind: str, src: str, dst: str,
+                  payload: Any, attempt: int, send_ns: float,
+                  latency: float) -> None:
+        """(Re)arm the unacked record: due = rto × capped backoff,
+        rto floored at one epoch so dues land at most one sweep out."""
+        rto = max(self.policy.rto_factor * 2.0 * latency, self.epoch_ns)
+        backoff = min(2.0 ** (attempt - 1), self.policy.backoff_cap_factor)
+        self._unacked[mid] = _Pending(
+            mid=mid, kind=kind, src=src, dst=dst, payload=payload,
+            attempt=attempt, due_ns=round(send_ns + rto * backoff, 3))
+
+    # -- delivery ------------------------------------------------------------
 
     def deliver(self, epoch: int) -> List[Message]:
         """Every message arriving during ``epoch``, in
@@ -78,9 +248,87 @@ class Fabric:
         self.delivered += len(msgs)
         return msgs
 
+    def first_delivery(self, msg: Message) -> bool:
+        """Receiver-side dedup: True exactly once per ``(dst, mid)``.
+        Retransmit and fault duplicates are counted and suppressed —
+        this is what keeps at-least-once exactly-once downstream."""
+        key = (msg.dst, msg.mid)
+        if key in self._seen:
+            self.dup_suppressed += 1
+            return False
+        self._seen.add(key)
+        return True
+
+    def send_ack(self, msg: Message) -> None:
+        """Ack a delivered data message back to its sender, posted at
+        the delivery instant (so it lands a future epoch).  Acks ride
+        the same faulted wire; a lost ack costs one retransmit."""
+        self.post(ACK, msg.dst, msg.src, msg.arrive_ns, payload=msg.mid)
+
+    def ack(self, mid: int) -> None:
+        """Retire the unacked record (idempotent — duplicate acks from
+        retransmit round trips are no-ops)."""
+        if self._unacked.pop(mid, None) is not None:
+            self.acked += 1
+
+    # -- retransmission ------------------------------------------------------
+
+    def sweep(self,
+              boundary_ns: float) -> Tuple[List[_Pending], List[_Pending]]:
+        """Retransmit every unacked message due before ``boundary_ns``
+        (the epoch boundary just stepped to).  :data:`FORWARD`s that
+        exhausted :attr:`FabricPolicy.max_attempts` are dead-lettered
+        instead.  Returns ``(retransmitted, dead_letters)`` — the
+        records as they were *before* the action, for event logging
+        and (dead letters) driver-side re-routing."""
+        retried: List[_Pending] = []
+        dead: List[_Pending] = []
+        for mid in sorted(self._unacked):
+            rec = self._unacked[mid]
+            if rec.due_ns >= boundary_ns:
+                continue
+            if rec.kind == FORWARD and \
+                    rec.attempt >= self.policy.max_attempts:
+                del self._unacked[mid]
+                self.dead_lettered += 1
+                dead.append(rec)
+                continue
+            self.retransmits += 1
+            retried.append(rec)
+            self.post(rec.kind, rec.src, rec.dst, rec.due_ns,
+                      rec.payload, mid=mid, attempt=rec.attempt + 1)
+        return retried, dead
+
+    def abandon_rid(self, rid: int,
+                    kinds: Tuple[str, ...] = (RESPAWN, ANSWER)) -> int:
+        """Stop retrying node-originated messages about ``rid`` (its
+        outcome is settled some other way).  Returns how many."""
+        gone = sorted(m for m, r in self._unacked.items()
+                      if r.kind in kinds and r.payload[0] == rid)
+        for mid in gone:
+            del self._unacked[mid]
+        self.abandoned += len(gone)
+        return len(gone)
+
+    def abandon_from(self, node: str) -> int:
+        """Stop retrying everything originated by ``node`` (it was
+        quarantined; the driver hedges its unanswered requests)."""
+        gone = sorted(m for m, r in self._unacked.items()
+                      if r.src == node)
+        for mid in gone:
+            del self._unacked[mid]
+        self.abandoned += len(gone)
+        return len(gone)
+
+    def unacked_count(self) -> int:
+        """Data messages still awaiting ack (quiescence gate)."""
+        return len(self._unacked)
+
+    # -- introspection -------------------------------------------------------
+
     def pending(self) -> int:
-        """Messages still in flight (posted, not yet delivered)."""
-        return self.posted - self.delivered
+        """Messages still in flight (bucketed, not yet delivered)."""
+        return sum(len(msgs) for msgs in self._buckets.values())
 
     def next_pending_epoch(self) -> int:
         """Earliest epoch with undelivered messages (-1 when empty)."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 import copy
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.fabric import RESPAWN, Message
+from repro.cluster.fabric import ANSWER, RESPAWN, Message
 from repro.cluster.topology import NodeSpec
 from repro.serve.remote import NodeFrontend, remote_tenants
 from repro.serve.server import ServeConfig
@@ -49,7 +49,7 @@ class NodeShard:
 
     def __init__(self, spec: NodeSpec, tenant_slos: Sequence[tuple],
                  template: Optional[ServeConfig] = None,
-                 obs: bool = False) -> None:
+                 obs: bool = False, reliable: bool = False) -> None:
         self.name = spec.name
         base = spec.serve if spec.serve is not None else template
         config = copy.deepcopy(base) if base is not None else ServeConfig()
@@ -75,6 +75,9 @@ class NodeShard:
         self._report = None
         #: requests bounced off this node after death (fleet metric).
         self.bounced = 0
+        #: reliable fabric lane on?  Then every terminal outcome goes
+        #: back to the coordinator's answer ledger as an ``ANSWER``.
+        self.reliable = reliable
 
     # -- the epoch protocol ---------------------------------------------------
 
@@ -99,11 +102,21 @@ class NodeShard:
             self._record_death()
             self.dead = True
             self._report = report
+            self._drain_answers(outbox)
             for rid, tenant, spec in respawns:
                 outbox.append((RESPAWN, self.die_ns, (rid, tenant, spec)))
             return outbox, self.status()
         self.frontend.step_until(epoch_end)
+        self._drain_answers(outbox)
         return outbox, self.status()
+
+    def _drain_answers(self, outbox: List[Outbound]) -> None:
+        """Reliable lane only: every terminal outcome since the last
+        drain becomes one ``ANSWER`` for the coordinator's ledger."""
+        if not self.reliable:
+            return
+        for when_ns, rid, outcome in self.frontend.drain_answered():
+            outbox.append((ANSWER, when_ns, (rid, outcome)))
 
     def _record_death(self) -> None:
         """Log the fired ``gpu.die`` on the node-level injector."""

@@ -13,6 +13,15 @@ source.  The contract extends across processes:
     N-worker run of the same fleet are byte-identical
     (asserted by ``tests/cluster``).
 
+Two schemas share this class.  A legacy-lane run (no fabric fault
+plan) emits ``repro.cluster/1`` — byte-for-byte the pre-fault digest,
+so zero-fault runs stay comparable across repo versions.  A
+reliable-lane run (any non-zero ``fabric.*`` plan) emits
+``repro.cluster/2``, which adds the fabric reliability ledger
+(retransmits, acks, dedup, faults fired), the self-healing routing
+counters (hedges, re-routes, deferrals), the answer-ledger frontier,
+and the health state machine's final states + degradation event log.
+
 Latency histograms merge exactly (:meth:`LatencyHistogram.merge` is
 bucket-wise integer addition), so fleet-level percentiles are computed
 over the union of every node's samples, not averaged from per-node
@@ -25,15 +34,22 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.cluster.health import DegradationEvent
 from repro.serve.histogram import LatencyHistogram
 from repro.serve.report import ServeReport
 
-#: JSON schema tag (bump when the digest's shape changes).
+#: JSON schema tag of the legacy (reliable=False) digest.
 SCHEMA = "repro.cluster/1"
+#: JSON schema tag of the reliable-lane digest.
+SCHEMA_RELIABLE = "repro.cluster/2"
 
 #: totals summed across nodes into the fleet ledger.
 _SUM_FIELDS = ("offered", "admitted", "dropped", "completed", "failed",
                "spawns", "faults_injected")
+
+#: degradation events serialized verbatim before the log is truncated
+#: (the total count is always exact).
+_EVENT_CAP = 1000
 
 
 @dataclass
@@ -58,6 +74,30 @@ class FleetReport:
     fabric_latency_sum_ns: float
     #: merged per-node obs snapshots (``None`` unless obs was on).
     obs: Optional[dict] = None
+    #: reliable fabric lane (non-zero fault plan)?  Selects the schema.
+    reliable: bool = False
+    fabric_retransmits: int = 0
+    fabric_dead_lettered: int = 0
+    fabric_acked: int = 0
+    fabric_dup_suppressed: int = 0
+    fabric_abandoned: int = 0
+    fabric_wire_dropped: int = 0
+    fabric_wire_held: int = 0
+    #: fault kind -> times it fired on the wire.
+    fabric_faults: Dict[str, int] = field(default_factory=dict)
+    fabric_plan_desc: str = ""
+    fabric_policy_desc: str = ""
+    hedges: int = 0
+    hedge_dups: int = 0
+    rerouted: int = 0
+    deferred: int = 0
+    #: answer-ledger conservation: offered == completed+failed+dropped.
+    frontier: Dict[str, int] = field(default_factory=dict)
+    health_policy_desc: str = ""
+    #: node -> final health state.
+    health_final: Dict[str, str] = field(default_factory=dict)
+    #: every self-healing action, in occurrence order.
+    degradations: List[DegradationEvent] = field(default_factory=list)
 
     # -- headline metrics -----------------------------------------------------
 
@@ -81,11 +121,16 @@ class FleetReport:
         return merged
 
     def merged_stage_hists(self) -> Dict[str, LatencyHistogram]:
+        """Per-stage merged histograms, **key-sorted**: the stage set
+        varies with what actually happened on each node (degradation
+        stages appear on some nodes only), so insertion order would
+        depend on node iteration — sorting here pins the report bytes
+        regardless of which node contributed a stage first."""
         stages: Dict[str, LatencyHistogram] = {}
         for name in sorted(self.node_reports):
             for stage, hist in self.node_reports[name].stage_hists.items():
                 stages.setdefault(stage, LatencyHistogram()).merge(hist)
-        return stages
+        return dict(sorted(stages.items()))
 
     @property
     def p99_us(self) -> float:
@@ -112,7 +157,7 @@ class FleetReport:
         mean_link = (self.fabric_latency_sum_ns / self.fabric_posted
                      if self.fabric_posted else 0.0)
         digest = {
-            "schema": SCHEMA,
+            "schema": SCHEMA_RELIABLE if self.reliable else SCHEMA,
             "label": self.label,
             "router": self.router,
             "topology": self.topology,
@@ -145,6 +190,32 @@ class FleetReport:
                 for name in sorted(self.node_reports)
             },
         }
+        if self.reliable:
+            digest["fabric"]["reliable"] = {
+                "policy": self.fabric_policy_desc,
+                "retransmits": self.fabric_retransmits,
+                "dead_lettered": self.fabric_dead_lettered,
+                "acked": self.fabric_acked,
+                "dup_suppressed": self.fabric_dup_suppressed,
+                "abandoned": self.fabric_abandoned,
+                "wire_dropped": self.fabric_wire_dropped,
+                "wire_held": self.fabric_wire_held,
+            }
+            digest["fabric"]["faults"] = {
+                "plan": self.fabric_plan_desc,
+                "fired": dict(sorted(self.fabric_faults.items())),
+            }
+            digest["routing"]["hedged"] = self.hedges
+            digest["routing"]["rerouted"] = self.rerouted
+            digest["routing"]["deferred"] = self.deferred
+            digest["frontier"] = dict(sorted(self.frontier.items()))
+            digest["health"] = {
+                "policy": self.health_policy_desc,
+                "final": dict(sorted(self.health_final.items())),
+                "events_total": len(self.degradations),
+                "events": [e.to_dict()
+                           for e in self.degradations[:_EVENT_CAP]],
+            }
         if self.obs is not None:
             digest["obs"] = self.obs
         return digest

@@ -21,12 +21,17 @@ Workers are plain ``multiprocessing`` processes (``fork`` where
 available, ``spawn`` elsewhere — task-spec kernels must be picklable,
 i.e. module-level, for ``spawn``).  Worker environments are scrubbed
 with :func:`repro.bench.subproc.silence_conda` so nothing pollutes
-stdout mid-protocol.
+stdout mid-protocol.  A worker that dies mid-protocol (OOM kill,
+segfault, unhandled exception) is *detected*, not waited on: every
+receive watches the process sentinel alongside the pipe, tears the
+pool down, and raises :class:`ClusterWorkerError` naming the nodes
+and the epoch instead of blocking forever on a dead pipe.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+from multiprocessing.connection import wait as _conn_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.subproc import silence_conda
@@ -38,13 +43,31 @@ from repro.cluster.topology import Topology
 StepResult = Tuple[List[Outbound], Dict[str, int]]
 
 
+class ClusterWorkerError(RuntimeError):
+    """A shard worker process died mid-protocol.
+
+    Carries the nodes the dead worker hosted, its exit code, and the
+    epoch the coordinator was stepping when the pipe went dark."""
+
+    def __init__(self, nodes: List[str], exitcode: Optional[int],
+                 epoch: int) -> None:
+        self.nodes = list(nodes)
+        self.exitcode = exitcode
+        self.epoch = epoch
+        super().__init__(
+            f"cluster worker hosting nodes {self.nodes} died "
+            f"(exitcode={exitcode}) during epoch {epoch}"
+        )
+
+
 class InProcessHost:
     """Sequential shard stepping inside the coordinator process."""
 
     def __init__(self, topology: Topology, tenant_slos: Sequence[tuple],
-                 template, obs: bool) -> None:
+                 template, obs: bool, reliable: bool = False) -> None:
         self.shards = {
-            spec.name: NodeShard(spec, tenant_slos, template, obs)
+            spec.name: NodeShard(spec, tenant_slos, template, obs,
+                                 reliable=reliable)
             for spec in topology.nodes
         }
         self._order = topology.node_names
@@ -64,12 +87,14 @@ class InProcessHost:
 
 
 def _worker_main(conn, topology: Topology, names: List[str],
-                 tenant_slos, template, obs: bool) -> None:
+                 tenant_slos, template, obs: bool,
+                 reliable: bool = False) -> None:
     """One worker process: build the assigned shards, speak the
     step/finish protocol over the pipe until told to exit."""
     silence_conda()
     shards = {
-        name: NodeShard(topology.node(name), tenant_slos, template, obs)
+        name: NodeShard(topology.node(name), tenant_slos, template, obs,
+                        reliable=reliable)
         for name in names
     }
     while True:
@@ -99,7 +124,8 @@ class WorkerPoolHost:
     """N worker processes, nodes partitioned round-robin."""
 
     def __init__(self, topology: Topology, tenant_slos: Sequence[tuple],
-                 template, obs: bool, workers: int) -> None:
+                 template, obs: bool, workers: int,
+                 reliable: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self._order = topology.node_names
@@ -111,12 +137,13 @@ class WorkerPoolHost:
         self._conns = []
         self._procs = []
         self._names: List[List[str]] = assigned
+        self._epoch = 0
         for names in assigned:
             parent, child = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child, topology, names, list(tenant_slos),
-                      template, obs),
+                      template, obs, reliable),
                 daemon=True,
             )
             proc.start()
@@ -124,24 +151,61 @@ class WorkerPoolHost:
             self._conns.append(parent)
             self._procs.append(proc)
 
+    def _recv(self, conn, proc, names: List[str]):
+        """Receive one reply, watching the worker's sentinel: a dead
+        worker raises instead of blocking the coordinator forever."""
+        ready = _conn_wait([conn, proc.sentinel])
+        if conn in ready:
+            try:
+                return conn.recv()
+            except (EOFError, OSError):
+                pass  # pipe torn down mid-reply: treat as death
+        proc.join(timeout=5)
+        self._teardown()
+        raise ClusterWorkerError(names, proc.exitcode, self._epoch)
+
+    def _teardown(self) -> None:
+        """Kill the whole pool (one worker is gone; the fleet state is
+        unrecoverable mid-epoch)."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+
     def step(self, epoch_end: float,
              inboxes: Dict[str, List[Message]]) -> Dict[str, StepResult]:
         # fan the command out to every worker *before* reading any
         # reply — this is where the wall-clock parallelism comes from
-        for conn, names in zip(self._conns, self._names):
-            conn.send(("step", epoch_end,
-                       {n: inboxes[n] for n in names if n in inboxes}))
+        self._epoch += 1
+        for conn, names, proc in zip(self._conns, self._names, self._procs):
+            try:
+                conn.send(("step", epoch_end,
+                           {n: inboxes[n] for n in names if n in inboxes}))
+            except (BrokenPipeError, OSError):
+                proc.join(timeout=5)
+                self._teardown()
+                raise ClusterWorkerError(names, proc.exitcode, self._epoch)
         results: Dict[str, StepResult] = {}
-        for conn in self._conns:
-            results.update(conn.recv())
+        for conn, names, proc in zip(self._conns, self._names, self._procs):
+            results.update(self._recv(conn, proc, names))
         return results
 
     def finish(self) -> Dict[str, tuple]:
-        for conn in self._conns:
-            conn.send(("finish",))
+        for conn, names, proc in zip(self._conns, self._names, self._procs):
+            try:
+                conn.send(("finish",))
+            except (BrokenPipeError, OSError):
+                proc.join(timeout=5)
+                self._teardown()
+                raise ClusterWorkerError(names, proc.exitcode, self._epoch)
         results: Dict[str, tuple] = {}
-        for conn in self._conns:
-            results.update(conn.recv())
+        for conn, names, proc in zip(self._conns, self._names, self._procs):
+            results.update(self._recv(conn, proc, names))
         return results
 
     def close(self) -> None:
@@ -158,8 +222,11 @@ class WorkerPoolHost:
 
 
 def make_host(topology: Topology, tenant_slos: Sequence[tuple],
-              template, obs: bool, workers: int):
+              template, obs: bool, workers: int,
+              reliable: bool = False):
     """``workers == 0`` -> sequential reference; ``>= 1`` -> pool."""
     if workers == 0:
-        return InProcessHost(topology, tenant_slos, template, obs)
-    return WorkerPoolHost(topology, tenant_slos, template, obs, workers)
+        return InProcessHost(topology, tenant_slos, template, obs,
+                             reliable=reliable)
+    return WorkerPoolHost(topology, tenant_slos, template, obs, workers,
+                          reliable=reliable)

@@ -16,11 +16,23 @@ in ``tests/chaos/`` sweeps seeds and asserts the
 :mod:`repro.core.validation` conservation laws after every run.
 """
 
-from repro.faults.injector import TIME_TRIGGERED_KINDS, FaultInjector
-from repro.faults.plan import DEFAULT_SWEEP_KINDS, HANG_KINDS, FaultPlan
+from repro.faults.injector import (
+    TIME_TRIGGERED_KINDS,
+    FabricInjector,
+    FaultInjector,
+)
+from repro.faults.plan import (
+    DEFAULT_SWEEP_KINDS,
+    FABRIC_SWEEP_KINDS,
+    HANG_KINDS,
+    FaultPlan,
+    hash01,
+    stream_seed,
+)
 from repro.faults.spec import (
     ALL_FAULT_KINDS,
     CUDA_FAULTS,
+    FABRIC_FAULTS,
     FAULT_KINDS,
     GPU_FAULTS,
     PCIE_FAULTS,
@@ -33,6 +45,7 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "FabricInjector",
     "InjectedFault",
     "FAULT_KINDS",
     "ALL_FAULT_KINDS",
@@ -40,7 +53,11 @@ __all__ = [
     "GPU_FAULTS",
     "CUDA_FAULTS",
     "TASK_FAULTS",
+    "FABRIC_FAULTS",
     "HANG_KINDS",
     "DEFAULT_SWEEP_KINDS",
+    "FABRIC_SWEEP_KINDS",
     "TIME_TRIGGERED_KINDS",
+    "stream_seed",
+    "hash01",
 ]

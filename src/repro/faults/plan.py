@@ -15,6 +15,7 @@ run with no injector at all (asserted by ``tests/chaos``).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -32,6 +33,43 @@ DEFAULT_SWEEP_KINDS: Tuple[str, ...] = (
                                 if k != "gpu.die")
     + FAULT_KINDS["cuda"] + FAULT_KINDS["task"]
 )
+
+#: Kinds the cluster fabric chaos sweep draws from.  ``fabric.node.
+#: resume`` is excluded: the generator emits it itself as the closing
+#: half of every pause window it draws.
+FABRIC_SWEEP_KINDS: Tuple[str, ...] = (
+    "fabric.link.drop",
+    "fabric.link.dup",
+    "fabric.link.delay_spike",
+    "fabric.link.partition",
+    "fabric.node.pause",
+)
+
+
+def stream_seed(seed: int, name: str) -> int:
+    """A per-entity RNG seed derived from ``(seed, name)``.
+
+    Uses :mod:`hashlib` (blake2b), never Python's salted ``hash()``,
+    so a node's noise stream is identical across worker processes,
+    interpreter restarts, and Python versions — the property the
+    cluster's byte-identity contract needs from node-local jitter.
+    """
+    digest = hashlib.blake2b(f"{seed}:{name}".encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def hash01(seed: int, *parts) -> float:
+    """A deterministic draw in ``[0, 1)`` from ``(seed, *parts)``.
+
+    The rate-based fabric faults use this instead of an RNG stream so
+    each message's fate is a pure function of its stable identity
+    (plan seed, message id, attempt number, link) — independent of
+    draw order, worker count, and interpreter salt.
+    """
+    key = ":".join([str(seed)] + [str(p) for p in parts])
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
 
 
 @dataclass
@@ -105,6 +143,65 @@ class FaultPlan:
             ))
         # arming order == time order; ties keep draw order (stable sort)
         specs.sort(key=lambda s: s.at_ns)
+        return cls(specs=specs, seed=seed)
+
+    @classmethod
+    def generate_fabric(
+        cls,
+        seed: int,
+        nodes: Sequence[str],
+        n_faults: int = 6,
+        horizon_ns: float = 1_000_000.0,
+        kinds: Sequence[str] = FABRIC_SWEEP_KINDS,
+        window_ns: Tuple[float, float] = (100_000.0, 400_000.0),
+        magnitude_ns: Tuple[float, float] = (10_000.0, 100_000.0),
+    ) -> "FaultPlan":
+        """Draw a cluster-fabric chaos plan over ``nodes``.
+
+        Unlike :meth:`generate`, the draws come from **per-node RNG
+        streams** seeded by :func:`stream_seed` ``(seed, node)``: each
+        node's share of the faults is a pure function of the cluster
+        seed and its own name, so adding a node to the topology (or
+        resharding the fleet across workers) never reshuffles another
+        node's noise.  ``n_faults`` is the fleet total, split evenly
+        with the remainder going to the first nodes in sorted order.
+
+        Windowed kinds use ``window_ns`` for their duration
+        (``fabric.link.partition`` windows, pause→resume spans);
+        point kinds use ``magnitude_ns`` (delay-spike sizes).
+        """
+        if n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        if not nodes:
+            raise ValueError("need at least one node")
+        kinds = tuple(kinds)
+        ordered = sorted(nodes)
+        base, rem = divmod(n_faults, len(ordered))
+        specs: List[FaultSpec] = []
+        for pos, node in enumerate(ordered):
+            rng = random.Random(stream_seed(seed, node))
+            for _ in range(base + (1 if pos < rem else 0)):
+                kind = rng.choice(kinds)
+                at_ns = round(rng.uniform(0.0, horizon_ns), 3)
+                if kind in ("fabric.link.partition", "fabric.node.pause"):
+                    span = round(rng.uniform(*window_ns), 3)
+                    if kind == "fabric.node.pause":
+                        specs.append(FaultSpec(kind=kind, at_ns=at_ns,
+                                               target=node))
+                        specs.append(FaultSpec(kind="fabric.node.resume",
+                                               at_ns=round(at_ns + span, 3),
+                                               target=node))
+                    else:
+                        specs.append(FaultSpec(kind=kind, at_ns=at_ns,
+                                               magnitude_ns=span,
+                                               target=node))
+                else:
+                    magnitude = round(rng.uniform(*magnitude_ns), 3)
+                    count = rng.randrange(1, 4)
+                    specs.append(FaultSpec(kind=kind, at_ns=at_ns,
+                                           magnitude_ns=magnitude,
+                                           count=count, target=node))
+        specs.sort(key=lambda s: (s.at_ns, s.kind, str(s.target)))
         return cls(specs=specs, seed=seed)
 
     def needs_watchdog(self) -> bool:

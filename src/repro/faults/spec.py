@@ -62,6 +62,34 @@ CUDA_FAULTS = (
     "cuda.stream_stall",
 )
 
+#: Cluster fabric faults (hooks in :class:`repro.cluster.fabric.Fabric`
+#: and the coordinator's digest-visibility layer).  ``target`` names a
+#: node (the fault applies to every link touching it), a ``(src, dst)``
+#: tuple (one directed link), or ``None`` (any link / every node).
+FABRIC_FAULTS = (
+    # one message is lost on the wire; the reliable layer's
+    # ack-timeout retransmit recovers it.  A spec with
+    # ``meta={"rate": p}`` is never spent and instead drops each
+    # matching message with (hash-derived, seed-stable) probability p.
+    "fabric.link.drop",
+    # one message is delivered twice; receiver-side dedup by message
+    # id suppresses the copy.
+    "fabric.link.dup",
+    # one message takes ``magnitude_ns`` longer than the link models.
+    "fabric.link.delay_spike",
+    # every message touching the target during
+    # ``[at_ns, at_ns + magnitude_ns)`` is dropped, and the target's
+    # status digests go dark for the window (the router suspects it).
+    "fabric.link.partition",
+    # gray failure: from ``at_ns`` the target's NIC stalls — messages
+    # to/from it are *held* (delivered after the matching resume) and
+    # its digests go dark.  A pause with no matching resume behaves
+    # like a permanent partition (messages are dropped, not held).
+    "fabric.node.pause",
+    # ends the target's pause at ``at_ns``.
+    "fabric.node.resume",
+)
+
 #: Workload kernel faults (hooks in the executor's phase loop).
 TASK_FAULTS = (
     # the task's kernel coroutine raises mid-phase.
@@ -80,6 +108,7 @@ FAULT_KINDS: Dict[str, Tuple[str, ...]] = {
     "gpu": GPU_FAULTS,
     "cuda": CUDA_FAULTS,
     "task": TASK_FAULTS,
+    "fabric": FABRIC_FAULTS,
 }
 
 #: Flat set of all known kinds (plan validation).

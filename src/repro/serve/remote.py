@@ -87,6 +87,15 @@ class NodeFrontend(TaskServer):
         #: requests handed back for cross-shard failover by `abort`.
         self.failed_over = 0
         self._collectors: List = []
+        #: rids ever injected here — at-least-once delivery upstream
+        #: (fabric retransmits, hedged re-placements) must stay
+        #: exactly-once at the frontend.
+        self._seen_rids: set = set()
+        #: duplicate injections refused (fleet metric).
+        self.dup_suppressed = 0
+        #: ``(when_ns, rid, outcome)`` terminal events not yet drained
+        #: by the owning shard (the cluster answer ledger's feed).
+        self.answered_log: List[Tuple[float, int, str]] = []
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -117,21 +126,32 @@ class NodeFrontend(TaskServer):
     # -- ingress --------------------------------------------------------------
 
     def inject(self, rid: int, tenant: str, spec: TaskSpec,
-               at_ns: float) -> None:
+               at_ns: float) -> bool:
         """Schedule one remote request to arrive at ``at_ns``.
 
         ``rid`` is the cluster-global request id (used to identify the
         request if it must be failed over to another node).  Injection
         order at equal ``at_ns`` is preserved (engine sequence
         numbers), so the caller's delivery order is the arrival order.
+
+        Returns ``False`` (and changes nothing) when ``rid`` was
+        already injected here — an unreliable fabric can present the
+        same request twice (retransmit races, a dead-letter re-route
+        landing next to the original), and the frontend is the
+        exactly-once boundary.
         """
         if self._closed or self.aborted:
             raise RuntimeError("cannot inject into a closed frontend")
         if tenant not in self._tenant_by_name:
             raise KeyError(f"unknown tenant {tenant!r}")
+        if rid in self._seen_rids:
+            self.dup_suppressed += 1
+            return False
+        self._seen_rids.add(rid)
         self._pending_arrivals += 1
         self._undelivered[rid] = (tenant, spec, at_ns)
         self.engine.call_at(at_ns, lambda: self._arrive(rid))
+        return True
 
     def _arrive(self, rid: int) -> None:
         tenant_name, spec, at_ns = self._undelivered.pop(rid)
@@ -143,6 +163,20 @@ class NodeFrontend(TaskServer):
     def _ingress(self, req):
         yield from self._offer(req)
         self._pending_arrivals -= 1
+
+    def _note_terminal(self, req) -> None:
+        # feed the cluster answer ledger: "done" reads as "completed"
+        # fleet-side (the ledger's outcome vocabulary)
+        outcome = "completed" if req.status == "done" else req.status
+        self.answered_log.append(
+            (self.engine.now, self._rid_of_index[req.index], outcome))
+
+    def drain_answered(self) -> List[Tuple[float, int, str]]:
+        """Hand over (and clear) the terminal events logged since the
+        last drain — the shard turns them into ``ANSWER`` messages."""
+        out = self.answered_log
+        self.answered_log = []
+        return out
 
     # -- stepping -------------------------------------------------------------
 
@@ -171,6 +205,7 @@ class NodeFrontend(TaskServer):
             "failed": self.failed,
             "dropped": self.dropped,
             "failed_over": self.failed_over,
+            "dup_suppressed": self.dup_suppressed,
         }
 
     # -- teardown -------------------------------------------------------------

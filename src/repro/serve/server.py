@@ -301,6 +301,12 @@ class TaskServer:
             self._obs_queue.set(row[0], row[1])
             self._obs_inflight.set(row[0], row[2])
 
+    def _note_terminal(self, req: Request) -> None:
+        """Hook: ``req`` just reached a terminal status (``done`` /
+        ``failed`` / ``dropped``).  The remote node frontend overrides
+        this to log the answer for the cluster's reliability ledger;
+        the local server needs nothing."""
+
     def _generators_done(self) -> bool:
         return not any(p.alive for p in self._gen_procs)
 
@@ -349,6 +355,7 @@ class TaskServer:
                     self.obs.instant("serve", "drop", self.engine.now,
                                      tenant=req.tenant, index=req.index)
                 self._sample()
+                self._note_terminal(req)
                 req.done.fire(None)
                 return
             if decision != WAIT:
@@ -475,6 +482,7 @@ class TaskServer:
                 if self.obs is not None:
                     self._obs_completed.inc()
                 self._record_latency(r)
+            self._note_terminal(r)
             r.done.fire(r)
         self._sample()
         out_bytes = sum(r.spec.output_bytes for r in batch)

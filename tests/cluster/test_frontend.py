@@ -92,6 +92,34 @@ def test_abort_hands_back_unanswered_requests_in_rid_order():
         fe.inject(11, "t", _spec(), at_ns=400_000.0)
 
 
+def test_duplicate_rid_injection_is_suppressed():
+    """At-least-once upstream (retransmits, hedges) must stay
+    exactly-once at the frontend: a repeated rid is refused before it
+    touches any state."""
+    fe = _frontend()
+    assert fe.inject(7, "t", _spec(), at_ns=10_000.0) is True
+    assert fe.inject(7, "t", _spec(), at_ns=20_000.0) is False
+    assert fe.status()["dup_suppressed"] == 1
+    fe.step_until(50_000.0)
+    assert fe.status()["offered"] == 1   # the duplicate never arrived
+    report = fe.close_and_drain()
+    assert report.completed == 1
+
+
+def test_drain_answered_feeds_terminal_outcomes_once():
+    fe = _frontend()
+    fe.inject(3, "t", _spec(), at_ns=5_000.0)
+    fe.inject(8, "t", _spec(), at_ns=6_000.0)
+    assert fe.drain_answered() == []     # nothing terminal yet
+    fe.step_until(200_000.0)
+    drained = fe.drain_answered()
+    assert sorted(rid for _, rid, _ in drained) == [3, 8]
+    assert all(outcome == "completed" for _, _, outcome in drained)
+    assert all(when <= 200_000.0 for when, _, _ in drained)
+    assert fe.drain_answered() == []     # drained means drained
+    fe.close_and_drain()
+
+
 def test_status_is_plain_ints():
     fe = _frontend()
     fe.inject(0, "t", _spec(), at_ns=1_000.0)

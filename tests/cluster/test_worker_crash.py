@@ -1,0 +1,70 @@
+"""Worker-death detection: a shard process that dies mid-protocol
+raises :class:`ClusterWorkerError` instead of hanging the
+coordinator on a dead pipe."""
+
+import pytest
+
+from repro.cluster import ClusterWorkerError, NodeSpec, Topology
+from repro.cluster.worker import WorkerPoolHost
+from repro.gpu.phases import Phase
+from repro.serve.slo import SloClass
+from repro.tasks import TaskSpec
+
+
+def _kernel(task, block_id, warp_id):
+    yield Phase(inst=5_000.0, mem_bytes=256)
+
+
+def _topology(n=4):
+    return Topology(nodes=[NodeSpec(f"n{i}") for i in range(n)],
+                    link_ns=25_000.0)
+
+
+def _pool(workers=2):
+    return WorkerPoolHost(_topology(), [("t", SloClass())], None,
+                          obs=False, workers=workers)
+
+
+def test_error_names_nodes_exitcode_and_epoch():
+    err = ClusterWorkerError(["n0", "n2"], -9, 7)
+    assert err.nodes == ["n0", "n2"]
+    assert err.exitcode == -9
+    assert err.epoch == 7
+    assert "['n0', 'n2']" in str(err)
+    assert "exitcode=-9" in str(err)
+    assert "epoch 7" in str(err)
+    assert isinstance(err, RuntimeError)
+
+
+def test_killed_worker_raises_instead_of_hanging():
+    host = _pool(workers=2)
+    try:
+        # one clean epoch proves the pool works, then kill a worker
+        results = host.step(25_000.0, {})
+        assert set(results) == {"n0", "n1", "n2", "n3"}
+        victim = host._procs[0]
+        victim.terminate()
+        victim.join(timeout=10)
+        with pytest.raises(ClusterWorkerError) as exc:
+            host.step(50_000.0, {})
+        # round-robin assignment: worker 0 hosts the even nodes
+        assert exc.value.nodes == ["n0", "n2"]
+        assert exc.value.epoch == 2
+        assert exc.value.exitcode is not None
+        # the whole pool was torn down, not just the dead worker
+        assert all(not p.is_alive() for p in host._procs)
+    finally:
+        host.close()
+
+
+def test_killed_worker_raises_from_finish_too():
+    host = _pool(workers=2)
+    try:
+        host.step(25_000.0, {})
+        host._procs[1].terminate()
+        host._procs[1].join(timeout=10)
+        with pytest.raises(ClusterWorkerError) as exc:
+            host.finish()
+        assert exc.value.nodes == ["n1", "n3"]
+    finally:
+        host.close()
