@@ -12,9 +12,15 @@ latency accounting), the cluster fleet sequentially vs sharded across
 worker processes (``cluster_speedup``, guarded by an absolute >=2x
 floor on hosts with >= 4 cores), the same fleet over a 1%-lossy
 fabric (``fleet_degraded_throughput``, deterministic virtual-time
-goodput under the reliability lane), plus a small Fig. 5 slice on
-each lane, and writes ``BENCH_simcore.json`` at the repo root so
-every PR leaves a perf data point behind.
+goodput under the reliability lane), the partitioned noisy-neighbor
+scenario (``partition_p99_ratio`` / ``partition_elastic_recovery``,
+deterministic virtual-time shape metrics of the SR-IOV-style compute
+partitioning), plus a small Fig. 5 slice on each lane, and writes
+``BENCH_simcore.json`` at the repo root so every PR leaves a perf
+data point behind.  Guards that stand down on this host (for example
+the cluster speedup floor on small machines) are listed under
+``skipped`` in the record, so a ``--json`` consumer can tell "passed"
+from "not run".
 
 If a committed ``BENCH_simcore.json`` already exists, the fresh
 throughputs are compared against it first: any metric that regresses
@@ -85,6 +91,13 @@ FAN_TICKS = 3_125
 #: applies everywhere).
 CLUSTER_SPEEDUP_FLOOR = 2.0
 CLUSTER_WORKERS = 4
+#: hard floors on the partitioned noisy-neighbor scenario, absolute
+#: and deterministic (virtual time): static partitioning must keep the
+#: victim's p99 strictly below the shared-device run, and the elastic
+#: rebalancer must win back at least half the utilization gap static
+#: isolation opens against the shared device.
+PARTITION_P99_RATIO_FLOOR = 1.0
+PARTITION_RECOVERY_FLOOR = 0.5
 
 #: Seed-commit throughputs measured on the machine that recorded the
 #: first BENCH_simcore.json (best-of-run minima of the pytest-benchmark
@@ -337,6 +350,29 @@ def bench_cluster_degraded():
     return bench_cluster_mod.measure_degraded()
 
 
+def bench_partition():
+    """Noisy-neighbor scenario through shared/static/elastic modes.
+
+    ``partition_p99_ratio`` (shared victim p99 over static victim p99
+    — isolation must keep it > 1) and ``partition_elastic_recovery``
+    (fraction of the shared-vs-static utilization gap the elastic
+    rebalancer wins back) are virtual-time and deterministic, so they
+    are excluded from the generic wall-clock regression comparison;
+    any change is a semantic change in the partition manager.
+    """
+    from repro.bench import partition as bench_partition_mod
+
+    start = time.perf_counter()
+    results = bench_partition_mod.run(num_tasks=96)
+    wall = time.perf_counter() - start
+    return {
+        "partition_p99_ratio": round(results["p99_shared_over_static"], 2),
+        "partition_elastic_recovery":
+            round(results["elastic_util_recovery"], 3),
+        "partition_wall_s": round(wall, 4),
+    }
+
+
 def bench_fig5_slice(repeats: int = 1, lane: str = "default"):
     """Small Fig. 5 slice: full multi-runtime sweep wall time."""
     _, wall = _best_of(
@@ -357,6 +393,7 @@ def measure() -> dict:
     serve_per_s, serve_wall = bench_serve_stack()
     cluster_measured = bench_cluster()
     cluster_degraded = bench_cluster_degraded()
+    partition_measured = bench_partition()
     fig5_wall = bench_fig5_slice()
     fig5_fast_wall = bench_fig5_slice(lane="fast")
     metrics = {
@@ -374,6 +411,9 @@ def measure() -> dict:
         "cluster_speedup": cluster_measured["cluster_speedup"],
         "fleet_degraded_throughput":
             cluster_degraded["fleet_degraded_throughput"],
+        "partition_p99_ratio": partition_measured["partition_p99_ratio"],
+        "partition_elastic_recovery":
+            partition_measured["partition_elastic_recovery"],
     }
     return {
         "metrics": metrics,
@@ -390,6 +430,7 @@ def measure() -> dict:
             "cluster_seq": cluster_measured["seq_wall_s"],
             "cluster_sharded": cluster_measured["par_wall_s"],
             "cluster_degraded": cluster_degraded["degraded_wall_s"],
+            "partition_isolation": partition_measured["partition_wall_s"],
             f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
             f"fig5_slice_fast_{FIG5_SLICE_TASKS}_tasks":
                 round(fig5_fast_wall, 2),
@@ -440,7 +481,9 @@ def load_baseline(baseline_path: pathlib.Path):
 _NON_THROUGHPUT_METRICS = frozenset({"obs_on_off_ratio",
                                      "engine_lane_speedup",
                                      "cluster_speedup",
-                                     "fleet_degraded_throughput"})
+                                     "fleet_degraded_throughput",
+                                     "partition_p99_ratio",
+                                     "partition_elastic_recovery"})
 
 
 def check_regression(record: dict, baseline: dict) -> list:
@@ -479,6 +522,9 @@ def main(argv=None) -> int:
         say = print
 
     record = measure()
+    #: guards that stood down on this host, with the reason — so a
+    #: --json consumer can tell "passed" from "not run"
+    record["skipped"] = []
 
     def finish(rc: int) -> int:
         if args.json:
@@ -530,6 +576,28 @@ def main(argv=None) -> int:
         say(f"\ncluster_speedup {cluster_speedup:.2f}x recorded "
             f"unguarded ({cores} cores < {CLUSTER_WORKERS} needed "
             "to demonstrate parallel speedup)")
+        record["skipped"].append({
+            "check": "cluster_speedup_floor",
+            "reason": f"{cores} cores < {CLUSTER_WORKERS} needed to "
+                      "demonstrate parallel speedup",
+        })
+
+    # the partition floors are absolute and deterministic: virtual-time
+    # shape properties of the partition manager, guarded from run one
+    p99_ratio = record["metrics"].get("partition_p99_ratio")
+    if p99_ratio is not None and p99_ratio <= PARTITION_P99_RATIO_FLOOR:
+        say(f"\nWARNING: partition_p99_ratio {p99_ratio:.2f} is not "
+            f"above {PARTITION_P99_RATIO_FLOOR}: static partitioning "
+            "stopped isolating the victim's tail from the aggressor")
+        if not args.no_fail:
+            return finish(1)
+    recovery = record["metrics"].get("partition_elastic_recovery")
+    if recovery is not None and recovery < PARTITION_RECOVERY_FLOOR:
+        say(f"\nWARNING: partition_elastic_recovery {recovery:.3f} is "
+            f"below the {PARTITION_RECOVERY_FLOOR} floor: the elastic "
+            "rebalancer no longer wins back half the utilization gap")
+        if not args.no_fail:
+            return finish(1)
 
     baseline = load_baseline(args.output)
     if baseline is None:

@@ -19,6 +19,7 @@ from repro.bench import (
     lanes,
     latency_under_load,
     obs_profile,
+    partition,
     priorities,
     fig6,
     fig7,
@@ -42,12 +43,14 @@ EXPERIMENTS = {
     "obs": obs_profile,
     "lanes": lanes,
     "cluster": cluster,
+    "partition_isolation": partition,
 }
 
 #: experiments whose run() takes a num_tasks argument
 TASK_SIZED = {"fig5", "fig7", "fig9", "fig11", "tab3", "tab5",
               "ablations", "load", "priorities", "sweeps",
-              "serve_p99_under_load", "obs", "lanes"}
+              "serve_p99_under_load", "obs", "lanes",
+              "partition_isolation"}
 
 
 def run_one(name: str, num_tasks: Optional[int]) -> str:

@@ -97,7 +97,8 @@ class Mtb:
                  arena_bytes: int = MTB_ARENA_BYTES,
                  deferred_scheduling: bool = False,
                  trace=None, watchdog_deadline_ns: Optional[float] = None,
-                 faults=None, obs=None) -> None:
+                 faults=None, obs=None, dram=None,
+                 partition: Optional[str] = None) -> None:
         self.engine = engine
         self.gpu = gpu
         self.smm = smm
@@ -105,6 +106,14 @@ class Mtb:
         self.column = column
         self.timing = gpu.timing
         self.functional = functional
+        #: DRAM bandwidth pool the executors charge memory phases to.
+        #: The shared device pool by default; a compute partition hands
+        #: each MasterKernel its own slice so one partition's memory
+        #: traffic cannot perturb a sibling's timing.
+        self.dram_pool = dram if dram is not None else gpu.dram
+        #: owning partition name (``None`` outside partitioned mode);
+        #: only used to label partition-scoped obs series.
+        self.partition = partition
         #: ablation switch: place one warp per pSched pass instead of
         #: letting the scheduler warp's 32 threads search in parallel
         #: (what Algorithm 2 exists to avoid).
@@ -136,8 +145,13 @@ class Mtb:
             self._obs_defer = obs.counter("sched.decisions.defer")
             self._obs_done = obs.counter("sched.tasks_done")
             self._obs_fail = obs.counter("sched.tasks_failed")
+            self._obs_part_busy = (
+                obs.timeline(f"gpu.partition.{partition}.busy_warps")
+                if partition is not None else None
+            )
         else:
             self._obs_busy = None
+            self._obs_part_busy = None
         self.arena_bytes = arena_bytes
         self.warptable = WarpTable()
         self.buddy = BuddyAllocator(arena_bytes)
@@ -421,6 +435,8 @@ class Mtb:
                 self.busy_warps.add(self.engine.now, 1)
                 if self._obs_busy is not None:
                     self._obs_busy.add(self.engine.now, 1)
+                if self._obs_part_busy is not None:
+                    self._obs_part_busy.add(self.engine.now, 1)
                 placed += 1
                 dispatched.append(slot)
             # wake only the dispatched executors, after the whole pass
@@ -450,9 +466,10 @@ class Mtb:
         slot = wt.slots[slot_index]
         col = self.table.gpu[self.column]
         execute_phase = self.smm.execute_phase
-        dram = self.gpu.dram
+        dram = self.dram_pool
         busy_warps = self.busy_warps
         obs_busy = self._obs_busy
+        obs_part = self._obs_part_busy
         engine = self.engine
         while True:
             if not slot.exec_flag:
@@ -526,6 +543,8 @@ class Mtb:
                 busy_warps.add(engine.now, -1)
                 if obs_busy is not None:
                     obs_busy.add(engine.now, -1)
+                if obs_part is not None:
+                    obs_part.add(engine.now, -1)
                 wt.retire(slot_index)
                 continue
             self._warp_epilogue(slot.e_num, slot.block_id,
@@ -533,6 +552,8 @@ class Mtb:
             busy_warps.add(engine.now, -1)
             if obs_busy is not None:
                 obs_busy.add(engine.now, -1)
+            if obs_part is not None:
+                obs_part.add(engine.now, -1)
             wt.retire(slot_index)
             if self.deferred_scheduling:
                 # freed resources may unblock a deferred row
@@ -607,6 +628,8 @@ class Mtb:
             self.busy_warps.add(self.engine.now, -1)
             if self._obs_busy is not None:
                 self._obs_busy.add(self.engine.now, -1)
+            if self._obs_part_busy is not None:
+                self._obs_part_busy.add(self.engine.now, -1)
             wt.retire(idx)
         if state is not None:
             for offset in state.block_sm_offset.values():
@@ -689,14 +712,25 @@ class Mtb:
 
 
 class MasterKernel:
-    """All 48 MTBs plus the whole-GPU resource acquisition."""
+    """All MTBs of one (sub)device plus their resource acquisition.
+
+    The classic daemon owns every SMM — 48 MTBs on the Titan X.  A
+    compute partition constructs one MasterKernel per partition with
+    ``smm_indices`` naming its SMM subset; columns keep their global
+    numbering (``smm_index * MTBS_PER_SMM + k``) so every partition
+    shares one full-width TaskTable geometry and the elastic controller
+    can move whole SMMs between sibling MasterKernels at runtime via
+    :meth:`release_smm` / :meth:`adopt_smm`.
+    """
 
     def __init__(self, engine: Engine, gpu: Gpu, table: TaskTable,
                  functional: bool = False,
                  serial_psched: bool = False,
                  deferred_scheduling: bool = False,
                  trace=None, watchdog_deadline_ns: Optional[float] = None,
-                 faults=None, obs=None) -> None:
+                 faults=None, obs=None,
+                 smm_indices: Optional[List[int]] = None,
+                 dram=None, partition: Optional[str] = None) -> None:
         expected_columns = gpu.spec.num_smms * MTBS_PER_SMM
         if table.num_columns != expected_columns:
             raise ValueError(
@@ -707,24 +741,85 @@ class MasterKernel:
         self.gpu = gpu
         self.table = table
         self.arena_bytes = mtb_arena_bytes(gpu.spec)
-        registers = min(MTB_REGISTERS,
-                        gpu.spec.registers_per_smm // MTBS_PER_SMM)
+        self._registers = min(MTB_REGISTERS,
+                              gpu.spec.registers_per_smm // MTBS_PER_SMM)
+        #: partition name (``None`` for the classic whole-device daemon).
+        self.partition = partition
+        #: DRAM pool override handed to every MTB (``None`` = device pool).
+        self.dram = dram
+        self._mtb_opts = dict(
+            functional=functional, serial_psched=serial_psched,
+            deferred_scheduling=deferred_scheduling, trace=trace,
+            watchdog_deadline_ns=watchdog_deadline_ns,
+            faults=faults, obs=obs,
+        )
+        #: SMM indices this MasterKernel currently owns (sorted).
+        self.smm_indices: List[int] = []
+        #: global column -> live Mtb, for columns this daemon owns.
+        self.by_column: Dict[int, Mtb] = {}
         self.mtbs: List[Mtb] = []
-        column = 0
-        for smm in gpu.smms:
-            for _ in range(MTBS_PER_SMM):
-                smm.reserve_block(
-                    warps=MTB_WARPS, registers=registers,
-                    shared_mem=self.arena_bytes,
-                )
-                self.mtbs.append(
-                    Mtb(engine, gpu, smm, table, column, functional,
-                        serial_psched, self.arena_bytes,
-                        deferred_scheduling, trace,
-                        watchdog_deadline_ns=watchdog_deadline_ns,
-                        faults=faults, obs=obs)
-                )
-                column += 1
+        #: Mtbs shut down by :meth:`release_smm`; kept so cumulative
+        #: counters and busy-warp integrals survive a shrink.
+        self.retired: List[Mtb] = []
+        indices = (range(gpu.spec.num_smms) if smm_indices is None
+                   else sorted(smm_indices))
+        for index in indices:
+            self.adopt_smm(index)
+
+    def adopt_smm(self, smm_index: int) -> List[int]:
+        """Reserve both MTB slots on one SMM and start its schedulers.
+
+        Used at construction for every owned SMM, and by the elastic
+        controller when a partition grows.  Returns the global columns
+        now owned.  Raises if the SMM's columns are already owned or
+        the SMM cannot host the reservations (still reserved by a
+        sibling that has not released them yet).
+        """
+        smm = self.gpu.smms[smm_index]
+        columns: List[int] = []
+        for k in range(MTBS_PER_SMM):
+            column = smm_index * MTBS_PER_SMM + k
+            if column in self.by_column:
+                raise ValueError(f"column {column} already owned")
+            smm.reserve_block(
+                warps=MTB_WARPS, registers=self._registers,
+                shared_mem=self.arena_bytes,
+            )
+            mtb = Mtb(self.engine, self.gpu, smm, self.table, column,
+                      arena_bytes=self.arena_bytes, dram=self.dram,
+                      partition=self.partition, **self._mtb_opts)
+            self.mtbs.append(mtb)
+            self.by_column[column] = mtb
+            columns.append(column)
+        if smm_index not in self.smm_indices:
+            self.smm_indices.append(smm_index)
+            self.smm_indices.sort()
+        return columns
+
+    def release_smm(self, smm_index: int) -> List[int]:
+        """Stop both MTBs on one SMM and release their reservations.
+
+        The caller must have drained the columns first (close them in
+        the TaskTable and wait for residency to reach zero); resident
+        tasks would otherwise be orphaned mid-flight.  Returns the
+        global columns given up.
+        """
+        columns: List[int] = []
+        for k in range(MTBS_PER_SMM):
+            column = smm_index * MTBS_PER_SMM + k
+            mtb = self.by_column.pop(column, None)
+            if mtb is None:
+                raise ValueError(f"column {column} not owned")
+            mtb.shutdown()
+            mtb.smm.release_block(
+                warps=MTB_WARPS, registers=self._registers,
+                shared_mem=self.arena_bytes,
+            )
+            self.mtbs.remove(mtb)
+            self.retired.append(mtb)
+            columns.append(column)
+        self.smm_indices.remove(smm_index)
+        return columns
 
     def shutdown(self) -> None:
         """Tear the daemon down at the end of an experiment."""
@@ -732,25 +827,36 @@ class MasterKernel:
             mtb.shutdown()
 
     def tasks_executed(self) -> int:
-        """Total tasks completed across all MTBs."""
-        return sum(mtb.tasks_executed for mtb in self.mtbs)
+        """Total tasks completed across all MTBs (retired included)."""
+        return sum(mtb.tasks_executed for mtb in self.mtbs) + \
+            sum(mtb.tasks_executed for mtb in self.retired)
 
     def tasks_failed(self) -> int:
         """Total tasks killed (watchdog, brown-out, kernel exception)."""
-        return sum(mtb.tasks_failed for mtb in self.mtbs)
+        return sum(mtb.tasks_failed for mtb in self.mtbs) + \
+            sum(mtb.tasks_failed for mtb in self.retired)
 
     def watchdog_kills(self) -> List[WatchdogKill]:
         """Every watchdog reclamation, in kill-time order."""
         kills = [k for mtb in self.mtbs for k in mtb.watchdog_kills]
+        kills += [k for mtb in self.retired for k in mtb.watchdog_kills]
         kills.sort(key=lambda k: k.when_ns)
         return kills
 
     def brownout(self, column: int, reason: str = "gpu.brownout") -> int:
         """Brown-out one MTB's SMM residency (see :meth:`Mtb.brownout`)."""
-        return self.mtbs[column].brownout(reason)
+        return self.by_column[column].brownout(reason)
+
+    def busy_integral(self, end: float) -> float:
+        """Accumulated busy-executor warp·ns across live and retired
+        MTBs — the numerator of a utilization window."""
+        total = sum(m.busy_warps.integral(end) for m in self.mtbs)
+        total += sum(m.busy_warps.integral(end) for m in self.retired)
+        return total
 
     def useful_occupancy(self, end: Optional[float] = None) -> float:
-        """Time-averaged fraction of executor warps running task work."""
+        """Time-averaged fraction of executor warps running task work
+        (over the currently owned MTBs)."""
         end = self.engine.now if end is None else end
         busy = sum(m.busy_warps.average(end) for m in self.mtbs)
         capacity = len(self.mtbs) * WarpTable.EXECUTOR_WARPS

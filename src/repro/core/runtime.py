@@ -93,6 +93,14 @@ class PagodaConfig:
     #: way (docs/INTERNALS.md §10); ignored when an explicit ``engine``
     #: is handed to :class:`PagodaSession`.
     lane: str = "default"
+    #: optional :class:`repro.partition.PartitionPlan`: split the GPU
+    #: into isolated compute partitions (SPX/DPX/QPX or arbitrary SMM
+    #: masks), each with its own MasterKernel/TaskTable/host.  A plain
+    #: :class:`PagodaSession` cannot host partitions — build a
+    #: :class:`repro.partition.PartitionedStack` (or let
+    #: ``repro.partition.serve.serve_partitioned`` do it); the serve
+    #: frontend dispatches there automatically when this is set.
+    partition: Optional[object] = None
 
 
 class PagodaSession:
@@ -105,6 +113,12 @@ class PagodaSession:
         self.spec = spec or titan_x()
         self.timing = timing or DEFAULT_TIMING
         self.config = config or PagodaConfig()
+        if self.config.partition is not None:
+            raise ValueError(
+                "PagodaConfig.partition is set: a PagodaSession owns the "
+                "whole device; build a repro.partition.PartitionedStack "
+                "for partitioned runs"
+            )
         # a shared engine lets several sessions (e.g. one per GPU of a
         # multi-GPU node) advance on one simulated clock
         self.engine = engine or Engine(lane=self.config.lane)

@@ -76,7 +76,8 @@ class TaskTable:
     def __init__(self, engine: Engine, bus: PcieBus, num_columns: int,
                  rows: int = 32, faults=None,
                  quarantine_threshold: Optional[int] = 3,
-                 obs=None) -> None:
+                 obs=None, open_columns=None,
+                 free_order: str = "lifo") -> None:
         if num_columns < 1 or rows < 1:
             raise ValueError("table must have at least one column and row")
         self.engine = engine
@@ -125,12 +126,34 @@ class TaskTable:
         #: taskID -> (column, row); the indirection behind ready>1.
         self.id_map: Dict[int, Tuple[int, int]] = {}
         self._next_id = FIRST_TASK_ID
+        #: columns the host may spawn into.  The legacy shared table
+        #: opens every column; a partitioned table opens only the
+        #: columns whose MTBs the partition owns, and the elastic
+        #: controller moves columns between sibling tables with
+        #: :meth:`close_column` / :meth:`open_column`.
+        self.open_columns: Set[int] = (
+            set(range(num_columns)) if open_columns is None
+            else set(open_columns)
+        )
+        if not self.open_columns <= set(range(num_columns)):
+            raise ValueError("open_columns out of range")
         # Host-side free-entry queue, interleaved across columns so
         # consecutive spawns land on different MTBs (load balance).
         self._cpu_free: List[Tuple[int, int]] = [
             (col, row) for row in range(rows) for col in range(num_columns)
+            if col in self.open_columns
         ]
         self._cpu_free.reverse()  # pop() yields column-major order
+        #: free-entry recycling order.  The legacy host pops the most
+        #: recently freed slot (LIFO) — byte-exact with the golden
+        #: schedules.  Partitioned tables use FIFO: freed slots go to
+        #: the back of the rotation, so steady-state spawns keep the
+        #: boot-time column interleave instead of converging onto
+        #: whichever MTB completed last (whose single scheduler warp
+        #: then serializes the whole pipelined spawn chain).
+        if free_order not in ("lifo", "fifo"):
+            raise ValueError(f"unknown free_order {free_order!r}")
+        self._free_lifo = free_order == "lifo"
         #: taskIDs whose completion the CPU has observed via copy-back.
         self.finished: Set[int] = set()
         #: pulsed on the *GPU* side whenever a task finishes; the host
@@ -247,12 +270,84 @@ class TaskTable:
         rather than handed to yet another victim.
         """
         while self._cpu_free:
-            col, row = self._cpu_free.pop()
+            col, row = (self._cpu_free.pop() if self._free_lifo
+                        else self._cpu_free.pop(0))
             if (col, row) in self.quarantined:
+                continue
+            if col not in self.open_columns:
                 continue
             if self.cpu[col][row].ready == READY_FREE:
                 return (col, row)
         return None
+
+    def close_column(self, col: int) -> None:
+        """Stop handing out entries of one column (partition shrink).
+
+        In-flight tasks already occupying the column are unaffected;
+        they drain normally, and their slots simply never re-enter the
+        free queue while the column stays closed.
+        """
+        if col not in self.open_columns:
+            return
+        self.open_columns.discard(col)
+        self._cpu_free = [slot for slot in self._cpu_free if slot[0] != col]
+
+    def open_column(self, col: int) -> None:
+        """Re-admit one column to the spawn path (partition grow).
+
+        Free, non-quarantined rows of the column rejoin the free queue;
+        completions observed while the column was closed are recovered
+        here instead of being lost.
+        """
+        if col < 0 or col >= self.num_columns:
+            raise ValueError(f"column {col} out of range")
+        if col in self.open_columns:
+            return
+        self.open_columns.add(col)
+        present = set(self._cpu_free)
+        recovered = []
+        for row in range(self.rows):
+            slot = (col, row)
+            if slot in self.quarantined or slot in present:
+                continue
+            if self.cpu[col][row].ready == READY_FREE and \
+                    not self.cpu[col][row].inflight:
+                recovered.append(slot)
+        # Recovered rows must not all be the *next* slots handed out:
+        # that funnels every spawn into the new column, whose single
+        # scheduler warp then convoys the whole pipelined spawn chain
+        # behind its (blocked-on-placement) scans.  Under LIFO they go
+        # to the bottom of the stack.  Under FIFO, parking them at the
+        # back would leave the column unused until the rotation wraps
+        # all existing slots — instead the whole list is re-interleaved
+        # across columns, restoring the boot-time invariant that
+        # consecutive handouts land on different MTBs.
+        if self._free_lifo:
+            self._cpu_free[:0] = recovered
+        else:
+            by_col: Dict[int, List[Tuple[int, int]]] = {}
+            for slot in self._cpu_free + recovered:
+                by_col.setdefault(slot[0], []).append(slot)
+            merged: List[Tuple[int, int]] = []
+            queues = [by_col[c] for c in sorted(by_col)]
+            while queues:
+                queues = [q for q in queues if q]
+                merged.extend(q.pop(0) for q in queues)
+            self._cpu_free = merged
+
+    def column_busy(self, col: int) -> bool:
+        """Whether the column still has GPU-side residency: a posted
+        entry in flight or a non-free GPU-mirror slot.  Used to decide
+        when a closed column has drained.  The CPU mirror's lazily
+        copied-back ``ready`` words are deliberately ignored — they are
+        bookkeeping staleness, not residency, and waiting on them could
+        outlive the last ``gpu_done_signal`` pulse."""
+        for row in range(self.rows):
+            if self.cpu[col][row].inflight:
+                return True
+            if self.gpu[col][row].ready != READY_FREE:
+                return True
+        return False
 
     def fill_cpu_entry(self, col: int, row: int, spec: TaskSpec,
                        result: TaskResult, prev_task_id: Optional[int]) -> int:
@@ -463,7 +558,7 @@ class TaskTable:
                 self.errors[cpu.task_id] = gpu.error
             self.finished.add(cpu.task_id)
             self._newly_finished.append(cpu.task_id)
-            if (col, row) not in self.quarantined:
+            if (col, row) not in self.quarantined and col in self.open_columns:
                 self._cpu_free.append((col, row))
 
     def drain_completions(self) -> List[int]:

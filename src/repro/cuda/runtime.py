@@ -36,7 +36,8 @@ class CudaRuntime:
     """Simulated CUDA context on one GPU."""
 
     def __init__(self, engine: Engine, gpu: Gpu, bus: PcieBus,
-                 functional: bool = False, faults=None) -> None:
+                 functional: bool = False, faults=None,
+                 smm_mask=None) -> None:
         self.engine = engine
         self.gpu = gpu
         self.bus = bus
@@ -45,6 +46,9 @@ class CudaRuntime:
         #: optional :class:`repro.faults.FaultInjector`; launches draw
         #: ``cuda.launch_fail``, streams draw ``cuda.stream_stall``.
         self.faults = faults
+        #: optional set of SMM indices this runtime may dispatch onto
+        #: (a compute partition); ``None`` means the whole device.
+        self.smm_mask = None if smm_mask is None else frozenset(smm_mask)
         self.allocator = DeviceAllocator(DEVICE_MEM_BYTES)
         self._inflight_kernels = 0
         self._launch_queue: deque = deque()
@@ -181,7 +185,7 @@ class CudaRuntime:
             freed_retry = self._freed.wait()
             task, block_id, on_start, on_done = self._pending_blocks[0]
             warps, regs, smem = self._block_requirements(task)
-            smm = self.gpu.find_smm(warps, regs, smem)
+            smm = self.gpu.find_smm(warps, regs, smem, mask=self.smm_mask)
             if smm is None:
                 yield freed_retry
                 continue

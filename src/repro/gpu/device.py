@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.gpu.smm import Smm
 from repro.gpu.spec import GpuSpec, titan_x
@@ -43,14 +43,27 @@ class Gpu:
         # bit-identical vectorized kernel as the SMM issue pools
         self.dram.tag_kernel = batch_finish_tags
 
-    def find_smm(self, warps: int, registers: int, shared_mem: int) -> Optional[Smm]:
+    def find_smm(
+        self,
+        warps: int,
+        registers: int,
+        shared_mem: int,
+        mask: Optional[Iterable[int]] = None,
+    ) -> Optional[Smm]:
         """Least-loaded SMM that can host the block, or ``None``.
 
         Mirrors the GigaThread engine's load balancing: prefer the SMM
-        with the most free warp slots.
+        with the most free warp slots.  ``mask`` restricts the scan to a
+        subset of SMM indices (a compute partition); ``None`` scans the
+        whole device.  Both the legacy shared dispatcher and the
+        partition path go through this single placement loop.
         """
+        if mask is None:
+            candidates = self.smms
+        else:
+            candidates = [self.smms[i] for i in sorted(mask)]
         best: Optional[Smm] = None
-        for smm in self.smms:
+        for smm in candidates:
             if smm.can_host(warps, registers, shared_mem):
                 if best is None or smm.free_warps > best.free_warps:
                     best = smm

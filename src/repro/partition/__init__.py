@@ -1,0 +1,41 @@
+"""repro.partition — SR-IOV-style compute partitioning with elastic
+multi-tenant rebalancing.
+
+Splits the device's SMMs into isolated logical partitions (SPX/DPX/QPX
+or arbitrary masks), each with its own MasterKernel, TaskTable, PCIe
+function, DRAM slice, and fault domain, plus Zorua-style virtualized
+shared-memory/register quotas that may oversubscribe the physical
+budget and rebalance at runtime.
+"""
+
+from repro.partition.elastic import ElasticConfig, elastic_controller
+from repro.partition.manager import (
+    SCHEMA,
+    Partition,
+    PartitionedStack,
+    PartitionPlan,
+    PartitionReport,
+    PartitionSpec,
+    run_partitioned,
+    task_demand,
+)
+from repro.partition.modes import MODES, mode_masks, validate_masks
+from repro.partition.quota import QuotaAccount, QuotaLedger
+
+__all__ = [
+    "SCHEMA",
+    "MODES",
+    "ElasticConfig",
+    "Partition",
+    "PartitionedStack",
+    "PartitionPlan",
+    "PartitionReport",
+    "PartitionSpec",
+    "QuotaAccount",
+    "QuotaLedger",
+    "elastic_controller",
+    "mode_masks",
+    "run_partitioned",
+    "task_demand",
+    "validate_masks",
+]

@@ -1,0 +1,561 @@
+"""The partition manager: SR-IOV-style sub-devices on one GPU.
+
+A :class:`PartitionedStack` splits one simulated GPU's SMM array into
+isolated logical partitions (the MI300 SPX/DPX/QPX modes, or arbitrary
+masks).  Each partition is a *complete* Pagoda stack on its SMM
+subset:
+
+- its own :class:`~repro.core.MasterKernel` owning only the
+  partition's MTB columns (global column numbering is preserved so
+  SMMs can move between partitions at runtime);
+- its own full-width :class:`~repro.core.TaskTable` with only the
+  owned columns open for spawning;
+- its own PCIe bus (the SR-IOV virtual function: each partition's
+  posted writes and copy-backs ride dedicated lanes);
+- its own DRAM bandwidth slice, rated by its share of the SMM array;
+- its own optional seeded fault plan and injector.
+
+Because partitions share **no timed resource**, a partition's
+schedule — and therefore its :class:`PartitionReport` bytes — is
+unaffected by anything its siblings do, including brown-outs and
+bursts.  That is the isolation contract the tests pin, and it is what
+the shared-mode baseline (one SPX partition, every tenant in it)
+deliberately gives up.
+
+On top of the static split sit the Zorua-style virtual quotas
+(:mod:`repro.partition.quota`) and the elastic controller
+(:mod:`repro.partition.elastic`), which trade some of that isolation
+back for utilization — borrowing idle sibling headroom and moving
+whole SMMs at epoch boundaries, all as deterministic engine events.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.errors import CudaLaunchError, RetryPolicy
+from repro.core.host_api import PagodaHost
+from repro.core.masterkernel import MTBS_PER_SMM, MasterKernel
+from repro.core.runtime import PagodaConfig
+from repro.core.tasktable import TaskTable
+from repro.gpu.device import Gpu
+from repro.gpu.spec import GpuSpec, titan_x
+from repro.gpu.timing import DEFAULT_TIMING, TimingModel, batch_finish_tags
+from repro.partition.modes import mode_masks, validate_masks
+from repro.partition.quota import QuotaLedger
+from repro.pcie.bus import Direction, PcieBus
+from repro.sim import Engine, ProcessorSharing, Signal
+from repro.tasks import TaskResult, TaskSpec
+
+#: canonical report schema tag.
+SCHEMA = "repro.partition/1"
+
+
+def task_demand(task: TaskSpec) -> Tuple[int, int]:
+    """(shared-mem bytes, registers) a task's admission claims."""
+    smem = task.shared_mem_bytes * task.num_blocks
+    regs = task.total_warps * 32 * task.regs_per_thread
+    return smem, regs
+
+
+@dataclass
+class PartitionSpec:
+    """Configuration of one partition within a plan."""
+
+    name: str
+    #: SMM indices this partition owns at boot.
+    smms: List[int]
+    #: virtual shared-memory quota in bytes (None -> physical base,
+    #: i.e. no oversubscription).
+    smem_quota: Optional[int] = None
+    #: virtual register quota (None -> physical base).
+    reg_quota: Optional[int] = None
+    #: quota = oversubscribe x physical base, applied when the
+    #: corresponding explicit quota is None.  1.0 = no oversubscription.
+    oversubscribe: float = 1.0
+    #: optional seeded :class:`repro.faults.FaultPlan` scoped to this
+    #: partition only — its brown-outs and warp faults can, by
+    #: construction, not touch a sibling.
+    fault_plan: Optional[object] = None
+
+
+@dataclass
+class PartitionPlan:
+    """A full device split: the partitions plus the elastic policy."""
+
+    partitions: List[PartitionSpec]
+    #: display label ("SPX"/"DPX"/"QPX"/"custom").
+    mode: str = "custom"
+    #: elastic rebalancing policy; None = static partitions.
+    elastic: Optional[object] = None
+
+    @classmethod
+    def from_mode(cls, mode: str, num_smms: int = 24,
+                  oversubscribe: float = 1.0,
+                  elastic: Optional[object] = None,
+                  names: Optional[List[str]] = None) -> "PartitionPlan":
+        """Build the symmetric plan of one hardware mode."""
+        masks = mode_masks(mode, num_smms)
+        if names is None:
+            names = [f"p{i}" for i in range(len(masks))]
+        if len(names) != len(masks):
+            raise ValueError(
+                f"{mode} has {len(masks)} partitions, got "
+                f"{len(names)} names"
+            )
+        return cls(
+            partitions=[
+                PartitionSpec(name=n, smms=m, oversubscribe=oversubscribe)
+                for n, m in zip(names, masks)
+            ],
+            mode=mode.upper(),
+            elastic=elastic,
+        )
+
+    def validate(self, num_smms: int) -> None:
+        names = [p.name for p in self.partitions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate partition names in {names}")
+        validate_masks([p.smms for p in self.partitions], num_smms)
+
+    def by_name(self, name: str) -> PartitionSpec:
+        for p in self.partitions:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+
+class Partition:
+    """One live partition: a session-shaped stack on an SMM subset."""
+
+    def __init__(self, stack: "PartitionedStack",
+                 pspec: PartitionSpec) -> None:
+        self.stack = stack
+        self.pspec = pspec
+        self.name = pspec.name
+        self.engine = stack.engine
+        self.timing = stack.timing
+        self.spec = stack.spec
+        config = stack.config
+        self.faults = None
+        if pspec.fault_plan is not None:
+            from repro.faults import FaultInjector
+            self.faults = FaultInjector(self.engine, pspec.fault_plan)
+        self.obs = stack.obs
+        #: the partition's virtual function: its own PCIe lanes.
+        self.bus = PcieBus(self.engine, self.timing,
+                           coalesce=config.pcie_coalesce,
+                           faults=self.faults, obs=self.obs)
+        num_columns = self.spec.num_smms * MTBS_PER_SMM
+        columns = [s * MTBS_PER_SMM + k
+                   for s in sorted(pspec.smms)
+                   for k in range(MTBS_PER_SMM)]
+        self.table = TaskTable(
+            self.engine, self.bus, num_columns, rows=config.rows,
+            faults=self.faults,
+            quarantine_threshold=config.quarantine_threshold,
+            obs=self.obs, open_columns=columns, free_order="fifo",
+        )
+        #: the partition's DRAM bandwidth slice, rated by its boot-time
+        #: share of the SMM array.  Fixed across elastic moves so a
+        #: partition's memory timing never depends on sibling activity.
+        share = len(pspec.smms) / self.spec.num_smms
+        self.dram = ProcessorSharing(
+            self.engine,
+            rate=self.timing.dram_bytes_per_ns(
+                self.spec.dram_bandwidth_gbps) * share,
+            name=f"dram.{self.name}",
+        )
+        self.dram.tag_kernel = batch_finish_tags
+        self.master = MasterKernel(
+            self.engine, stack.gpu, self.table,
+            functional=config.functional,
+            serial_psched=config.serial_psched,
+            deferred_scheduling=config.deferred_scheduling,
+            watchdog_deadline_ns=config.watchdog_deadline_ns,
+            faults=self.faults, obs=self.obs,
+            smm_indices=list(pspec.smms), dram=self.dram,
+            partition=self.name,
+        )
+        self.host = PagodaHost(self.engine, self.table, self.timing,
+                               protocol=config.protocol,
+                               faults=self.faults)
+        #: pulsed whenever quota grants may have grown (a release, an
+        #: epoch borrow, an SMM adopt) — quota claimants block here.
+        self.quota_signal = Signal()
+        smem_base = len(columns) * self.master.arena_bytes
+        regs_base = len(columns) * self.master._registers
+        stack.ledger.register(
+            self.name,
+            smem_base=smem_base, regs_base=regs_base,
+            smem_quota=(pspec.smem_quota if pspec.smem_quota is not None
+                        else int(smem_base * pspec.oversubscribe)),
+            regs_quota=(pspec.reg_quota if pspec.reg_quota is not None
+                        else int(regs_base * pspec.oversubscribe)),
+        )
+        if self.obs is not None:
+            self.obs.timeline(f"gpu.partition.{self.name}.smms").set(
+                0.0, len(pspec.smms))
+        if self.faults is not None:
+            self._arm_timed_faults()
+
+    @property
+    def columns(self) -> List[int]:
+        """The columns currently open for this partition, sorted."""
+        return sorted(self.table.open_columns)
+
+    def _arm_timed_faults(self) -> None:
+        """Brown-outs of this partition's plan land on its own columns
+        only — target indices wrap within the partition."""
+        boot_columns = [s * MTBS_PER_SMM + k
+                        for s in sorted(self.pspec.smms)
+                        for k in range(MTBS_PER_SMM)]
+        for fspec in self.faults.time_triggered("gpu.brownout"):
+            column = boot_columns[(fspec.target or 0) % len(boot_columns)]
+
+            def fire(s=fspec, c=column):
+                # the column may have moved to a sibling by now; a
+                # brown-out of hardware this partition no longer owns
+                # is a no-op for it
+                mtb = self.master.by_column.get(c)
+                if mtb is not None:
+                    mtb.brownout(s.kind)
+                    self.faults.record_fired(s, f"{self.name}.mtb{c}")
+
+            self.engine.call_at(fspec.at_ns, fire)
+
+    # -- quota admission ---------------------------------------------------
+
+    def claim_quota(self, smem: int, regs: int) -> Generator:
+        """Block until the footprint fits the partition's grant, then
+        hold it.  Zero engine events when admission succeeds at once."""
+        ledger = self.stack.ledger
+        while True:
+            # arm before trying: a release during this event must not
+            # be a lost wakeup
+            retry = self.quota_signal.wait()
+            if ledger.try_acquire(self.name, smem, regs):
+                return (smem, regs)
+            yield retry
+
+    def release_quota(self, claim: Tuple[int, int]) -> None:
+        self.stack.ledger.release(self.name, *claim)
+        self.quota_signal.pulse()
+
+    def shutdown(self) -> None:
+        self.master.shutdown()
+
+
+class PartitionedStack:
+    """All partitions of one GPU on one engine, plus the movers."""
+
+    def __init__(self, plan: PartitionPlan,
+                 spec: Optional[GpuSpec] = None,
+                 timing: Optional[TimingModel] = None,
+                 config: Optional[PagodaConfig] = None,
+                 engine: Optional[Engine] = None) -> None:
+        self.plan = plan
+        self.spec = spec or titan_x()
+        self.timing = timing or DEFAULT_TIMING
+        self.config = config or PagodaConfig()
+        if self.config.fault_plan is not None:
+            raise ValueError(
+                "partitioned stacks take per-partition fault plans "
+                "(PartitionSpec.fault_plan), not a device-wide one"
+            )
+        plan.validate(self.spec.num_smms)
+        self.engine = engine or Engine(lane=self.config.lane)
+        self.obs = self.config.obs
+        if self.obs is not None and getattr(self.obs, "profiler", None):
+            self.engine.profiler = self.obs.profiler
+        if self.obs is not None:
+            from repro.gpu.occupancy import reset_memo_counters
+            reset_memo_counters()
+        self.gpu = Gpu(self.engine, self.spec, self.timing, obs=self.obs)
+        self.ledger = QuotaLedger(obs=self.obs)
+        self.partitions: Dict[str, Partition] = {}
+        for pspec in plan.partitions:
+            self.partitions[pspec.name] = Partition(self, pspec)
+        #: (when_ns, donor, recipient, smm_index) log of elastic moves.
+        self.moves: List[Tuple[float, str, str, int]] = []
+        #: SMM indices currently being handed over.  Moves of distinct
+        #: SMMs drain independently, so several may be in flight at
+        #: once; the same SMM never is.
+        self._moves_inflight: Set[int] = set()
+        #: cleared by the driver once the workload is done, so the
+        #: elastic controller's epoch timer stops re-arming and the
+        #: engine can drain.
+        self.active = True
+        #: driver-registered workload processes (collectors); the
+        #: elastic controller exits once none of them is alive, which
+        #: is what lets ``engine.run`` terminate.
+        self.workload_procs: List[object] = []
+        self._controller_proc = None
+        if plan.elastic is not None:
+            from repro.partition.elastic import elastic_controller
+            self._controller_proc = self.engine.spawn(
+                elastic_controller(self, plan.elastic),
+                "partition-elastic",
+            )
+
+    def partition(self, name: str) -> Partition:
+        return self.partitions[name]
+
+    def effective_smms(self, name: str) -> int:
+        """SMMs a partition will still own once in-flight hand-overs
+        complete — what shrink policies must reason about, since a
+        draining SMM stays in ``smm_indices`` until released."""
+        return len([s for s in self.partitions[name].master.smm_indices
+                    if s not in self._moves_inflight])
+
+    def finish(self) -> None:
+        """The workload is done: let the controller's loop exit."""
+        self.active = False
+
+    def shutdown(self) -> None:
+        self.finish()
+        for part in self.partitions.values():
+            part.shutdown()
+
+    # -- SMM movement (the grow/shrink/merge primitive) --------------------
+
+    def lend_smm(self, donor: str, recipient: str,
+                 smm_index: Optional[int] = None) -> bool:
+        """Start moving one SMM from ``donor`` to ``recipient``.
+
+        Returns False (and does nothing) when this SMM is already in
+        flight or the donor has nothing to give; otherwise spawns the
+        drain-and-transfer process and returns True.  The move is
+        asynchronous: the donor's columns close immediately, the
+        hand-over completes once they drain.  Moves of distinct SMMs
+        may overlap.
+        """
+        d = self.partitions[donor]
+        available = [s for s in d.master.smm_indices
+                     if s not in self._moves_inflight]
+        if len(available) <= 1:
+            return False
+        if smm_index is None:
+            smm_index = available[-1]
+        elif smm_index not in available:
+            return False
+        self._moves_inflight.add(smm_index)
+        self.engine.spawn(
+            self._move_proc(donor, recipient, smm_index),
+            f"partition-move.{donor}.{recipient}.{smm_index}",
+        )
+        return True
+
+    def _move_proc(self, donor: str, recipient: str,
+                   smm_index: int) -> Generator:
+        d = self.partitions[donor]
+        r = self.partitions[recipient]
+        cols = [smm_index * MTBS_PER_SMM + k for k in range(MTBS_PER_SMM)]
+        for c in cols:
+            d.table.close_column(c)
+        while any(d.table.column_busy(c) for c in cols):
+            # completions always pulse the donor's done signal; posted
+            # writes in flight become residency before completing
+            yield d.table.gpu_done_signal.wait()
+        # detach from the completing executor's stack frame (the done
+        # pulse resumes this proc synchronously from inside it) before
+        # release_smm interrupts that same generator
+        yield self.engine.timeout(0.0)
+        d.master.release_smm(smm_index)
+        now = self.engine.now
+        arena = d.master.arena_bytes
+        regs = d.master._registers
+        self.ledger.transfer_base(donor, recipient, "smem",
+                                  MTBS_PER_SMM * arena, now)
+        self.ledger.transfer_base(donor, recipient, "regs",
+                                  MTBS_PER_SMM * regs, now)
+        r.master.adopt_smm(smm_index)
+        for c in cols:
+            r.table.open_column(c)
+        self.moves.append((now, donor, recipient, smm_index))
+        d.quota_signal.pulse()
+        r.quota_signal.pulse()
+        if self.obs is not None:
+            self.obs.instant("gpu.partition", "repartition", now,
+                             donor=donor, recipient=recipient,
+                             smm=smm_index)
+            self.obs.timeline(f"gpu.partition.{donor}.smms").set(
+                now, len(d.master.smm_indices))
+            self.obs.timeline(f"gpu.partition.{recipient}.smms").set(
+                now, len(r.master.smm_indices))
+        self._moves_inflight.discard(smm_index)
+
+
+@dataclass
+class PartitionReport:
+    """Canonical per-partition outcome of one partitioned run."""
+
+    partition: str
+    smms: List[int]
+    mode: str
+    tasks: int
+    executed: int
+    failed: int
+    makespan_ns: float
+    busy_warp_ns: float
+    latencies_ns: List[float] = field(default_factory=list)
+    error_reasons: List[str] = field(default_factory=list)
+
+    def percentile(self, pct: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        idx = min(len(ordered) - 1,
+                  max(0, int(math.ceil(pct / 100.0 * len(ordered))) - 1))
+        return ordered[idx]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "partition": self.partition,
+            "smms": list(self.smms),
+            "mode": self.mode,
+            "tasks": self.tasks,
+            "executed": self.executed,
+            "failed": self.failed,
+            "makespan_ns": self.makespan_ns,
+            "busy_warp_ns": self.busy_warp_ns,
+            "latency_p50_ns": self.percentile(50.0),
+            "latency_p99_ns": self.percentile(99.0),
+            "latencies_ns": list(self.latencies_ns),
+            "error_reasons": sorted(self.error_reasons),
+        }
+
+    def to_json(self) -> bytes:
+        """Byte-canonical encoding (the isolation tests diff these)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode("ascii")
+
+
+def run_partitioned(groups: Dict[str, List[TaskSpec]],
+                    plan: PartitionPlan,
+                    spec: Optional[GpuSpec] = None,
+                    timing: Optional[TimingModel] = None,
+                    config: Optional[PagodaConfig] = None,
+                    gaps: Optional[Dict[str, float]] = None,
+                    ) -> Dict[str, PartitionReport]:
+    """Run one task group per partition on a fresh partitioned stack.
+
+    ``groups`` maps partition name -> task list (missing partitions
+    idle); ``gaps`` optionally spaces one group's spawns (open-loop,
+    task i arrives at ``i * gap``).  Returns one canonical
+    :class:`PartitionReport` per partition of the plan.
+    """
+    config = config or PagodaConfig()
+    stack = PartitionedStack(plan, spec, timing, config)
+    engine = stack.engine
+    unknown = set(groups) - set(stack.partitions)
+    if unknown:
+        raise ValueError(f"groups name unknown partitions: {sorted(unknown)}")
+    gaps = gaps or {}
+    finish: Dict[str, float] = {p: 0.0 for p in stack.partitions}
+    claims: Dict[str, Dict[int, Tuple[int, int]]] = {
+        p: {} for p in stack.partitions
+    }
+    results: Dict[str, List[TaskResult]] = {
+        p: [TaskResult(i, t.name) for i, t in enumerate(groups.get(p, []))]
+        for p in stack.partitions
+    }
+    retry_policy = RetryPolicy()
+
+    def spawner(part: Partition, tasks: List[TaskSpec]) -> Generator:
+        gap = gaps.get(part.name, 0.0)
+        res = results[part.name]
+        for i, task in enumerate(tasks):
+            if gap:
+                arrival = (i + 1) * gap
+                if engine.now < arrival:
+                    yield arrival - engine.now
+                res[i].spawn_time = arrival
+            else:
+                res[i].spawn_time = engine.now
+            if config.copy_inputs and task.input_bytes:
+                yield part.timing.memcpy_issue_ns
+                engine.spawn(
+                    part.bus.transfer(task.input_bytes, Direction.H2D),
+                    f"{part.name}.incopy.{i}",
+                )
+            claim = yield from part.claim_quota(*task_demand(task))
+            attempt = 0
+            while True:
+                try:
+                    task_id = yield from part.host.task_spawn(task, res[i])
+                    break
+                except CudaLaunchError:
+                    attempt += 1
+                    if attempt >= retry_policy.max_attempts:
+                        part.release_quota(claim)
+                        raise
+                    yield retry_policy.backoff_ns(attempt - 1)
+            claims[part.name][task_id] = claim
+
+    def collector(part: Partition, tasks: List[TaskSpec],
+                  spawn_proc) -> Generator:
+        table, host = part.table, part.host
+        transfers = []
+        out_bytes = {t.name: t.output_bytes for t in tasks}
+        while True:
+            done_spawning = not spawn_proc.alive
+            if done_spawning:
+                yield from host.finalize_last()
+            yield part.timing.wait_timeout_ns
+            yield from table.copy_back()
+            for task_id in table.drain_completions():
+                claim = claims[part.name].pop(task_id, None)
+                if claim is not None:
+                    part.release_quota(claim)
+                nbytes = out_bytes.get(
+                    table.entry_for(task_id, "cpu").spec.name, 0
+                ) if task_id in table.id_map else 0
+                if config.copy_outputs and nbytes:
+                    yield part.timing.memcpy_issue_ns
+                    transfers.append(engine.spawn(
+                        part.bus.transfer(nbytes, Direction.D2H),
+                        f"{part.name}.outcopy.{task_id}",
+                    ))
+            if done_spawning and len(table.finished) >= len(tasks):
+                break
+        for proc in transfers:
+            yield proc
+        finish[part.name] = engine.now
+
+    for name in sorted(stack.partitions):
+        tasks = groups.get(name, [])
+        if not tasks:
+            continue
+        part = stack.partitions[name]
+        sp = engine.spawn(spawner(part, tasks), f"{name}.spawner")
+        stack.workload_procs.append(
+            engine.spawn(collector(part, tasks, sp), f"{name}.collector")
+        )
+    engine.run(raise_on_deadlock=True)
+    stack.shutdown()
+
+    reports: Dict[str, PartitionReport] = {}
+    for name in sorted(stack.partitions):
+        part = stack.partitions[name]
+        res = results[name]
+        end = finish[name]
+        lat = [r.end_time - r.spawn_time for r in res
+               if r.end_time > 0.0]
+        reports[name] = PartitionReport(
+            partition=name,
+            smms=sorted(part.master.smm_indices),
+            mode=plan.mode,
+            tasks=len(res),
+            executed=part.master.tasks_executed(),
+            failed=part.master.tasks_failed(),
+            makespan_ns=end,
+            busy_warp_ns=part.master.busy_integral(end),
+            latencies_ns=lat,
+            error_reasons=[e.reason for e in part.host.task_errors()],
+        )
+    return reports

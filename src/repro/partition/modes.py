@@ -1,0 +1,61 @@
+"""Compute-partition modes: SPX / DPX / QPX and arbitrary SMM masks.
+
+Mirrors the AMD Instinct MI300 compute partitioning modes
+(SNIPPETS.md §1): SPX exposes the whole device as one logical GPU,
+DPX splits it in two, QPX in four.  Here the unit of partitioning is
+the SMM — a mode carves the ``num_smms`` SMM array into equal
+contiguous index ranges, and arbitrary (possibly unequal,
+non-contiguous) masks are first-class for experiments the hardware
+modes cannot express.
+
+A mask is a sorted list of SMM indices.  Masks of one plan must be
+non-empty, in range, and pairwise disjoint; SMMs named by no mask are
+simply left unmanaged (dark silicon), which is legal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: hardware-style mode name -> number of partitions.
+MODES: Dict[str, int] = {"SPX": 1, "DPX": 2, "QPX": 4}
+
+
+def mode_masks(mode: str, num_smms: int) -> List[List[int]]:
+    """The SMM masks of one hardware partition mode.
+
+    ``num_smms`` must divide evenly by the mode's partition count —
+    the hardware modes only exist on symmetric die layouts.
+    """
+    try:
+        parts = MODES[mode.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition mode {mode!r} (have {sorted(MODES)})"
+        ) from None
+    if num_smms % parts:
+        raise ValueError(
+            f"{mode}: {num_smms} SMMs do not split into {parts} equal "
+            "partitions"
+        )
+    width = num_smms // parts
+    return [list(range(i * width, (i + 1) * width)) for i in range(parts)]
+
+
+def validate_masks(masks: Sequence[Sequence[int]], num_smms: int) -> None:
+    """Check a plan's masks: non-empty, in range, pairwise disjoint."""
+    seen: Dict[int, int] = {}
+    for pi, mask in enumerate(masks):
+        if not mask:
+            raise ValueError(f"partition {pi} has an empty SMM mask")
+        for smm in mask:
+            if not 0 <= smm < num_smms:
+                raise ValueError(
+                    f"partition {pi}: SMM {smm} out of range "
+                    f"[0, {num_smms})"
+                )
+            if smm in seen:
+                raise ValueError(
+                    f"SMM {smm} claimed by partitions {seen[smm]} and {pi}"
+                )
+            seen[smm] = pi

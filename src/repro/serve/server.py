@@ -65,6 +65,11 @@ class TenantSpec:
     #: clocking the next inter-arrival gap; open-loop tenants track
     #: their absolute schedule no matter how the server is doing.
     closed_loop: bool = False
+    #: name of the compute partition serving this tenant, when the
+    #: pagoda config carries a :class:`repro.partition.PartitionPlan`.
+    #: Required whenever the plan has more than one partition; ignored
+    #: (and must be None) on unpartitioned runs.
+    partition: Optional[str] = None
 
 
 @dataclass
@@ -212,11 +217,15 @@ class TaskServer:
     #: remote frontends (:class:`repro.serve.remote.NodeFrontend`)
     #: receive their tasks by injection instead of local generators.
     remote = False
+    #: prefix for this server's process names — set by multiplexing
+    #: frontends (one server per partition) to keep traces readable.
+    _name_prefix = ""
 
     def __init__(self, tenants: List[TenantSpec],
                  config: Optional[ServeConfig] = None,
                  spec: Optional[GpuSpec] = None,
-                 timing: Optional[TimingModel] = None) -> None:
+                 timing: Optional[TimingModel] = None,
+                 node=None) -> None:
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [t.name for t in tenants]
@@ -227,8 +236,12 @@ class TaskServer:
                 raise ValueError(f"tenant {t.name!r} has no tasks")
         self.tenants = list(tenants)
         self.config = config or ServeConfig()
-        self.node = MultiGpuPagoda(self.config.num_gpus, spec, timing,
-                                   self.config.pagoda)
+        #: the Pagoda node served against — built here for the common
+        #: case, or injected prebuilt (a partition of a shared stack,
+        #: in which case several servers share one engine and the
+        #: caller owns ``engine.run``).
+        self.node = node if node is not None else MultiGpuPagoda(
+            self.config.num_gpus, spec, timing, self.config.pagoda)
         self.engine = self.node.engine
         self.timing = self.node.sessions[0].timing
         self.policy = self.config.policy
@@ -284,6 +297,7 @@ class TaskServer:
         self._inflight_count = 0
         self._gen_procs: List = []
         self._dispatch_proc = None
+        self._collector_procs: List = []
         self._finish_ns = 0.0
 
     # -- bookkeeping ----------------------------------------------------------
@@ -410,6 +424,7 @@ class TaskServer:
             spec = (fuse_specs([r.spec for r in batch])
                     if len(batch) > 1 else head.spec)
             spec = apply_slo(spec, head.slo, head.arrival_ns, now)
+            claim = yield from self._acquire_slot(spec)
             gpu_idx = self.node.pick_gpu()
             session = self.node.sessions[gpu_idx]
             result = TaskResult(0, spec.name)
@@ -433,6 +448,7 @@ class TaskServer:
             # got around to posting the entry
             result.spawn_time = head.arrival_ns
             self.spawns += 1
+            self._note_claim(task_id, claim)
             for r in batch:
                 r.result = result
                 r.gpu_index = gpu_idx
@@ -460,9 +476,27 @@ class TaskServer:
         if deadline is None or total <= deadline:
             stats["good"] += 1
 
+    # -- resource-admission hooks ---------------------------------------------
+    # Default implementations are observational no-ops that add ZERO
+    # engine events, keeping unpartitioned reports byte-identical.
+    # The partition server overrides them with quota-ledger claims.
+
+    def _acquire_slot(self, spec: TaskSpec) -> Generator:
+        """Hook: block until the backend may admit ``spec``; returns an
+        opaque claim handle (``None`` here)."""
+        return None
+        yield  # pragma: no cover - unreachable; makes this a generator
+
+    def _note_claim(self, task_id: int, claim) -> None:
+        """Hook: associate a claim handle with the spawned task."""
+
+    def _release_slot(self, task_id: int) -> None:
+        """Hook: the task finished; return its claim."""
+
     def _finish_batch(self, gpu_idx: int, task_id: int,
                       batch: List[Request], transfers: List) -> Generator:
         session = self.node.sessions[gpu_idx]
+        self._release_slot(task_id)
         err = session.table.errors.get(task_id)
         now = self.engine.now
         self._inflight_count -= len(batch)
@@ -518,18 +552,29 @@ class TaskServer:
 
     # -- driver ---------------------------------------------------------------
 
-    def run(self):
-        """Run to quiescence and return the :class:`ServeReport`."""
+    def start(self) -> List:
+        """Spawn this server's sim processes (no engine.run).
+
+        Returns the processes whose completion marks the run done, so a
+        caller multiplexing several servers onto one engine (the
+        partitioned frontend) can drive and check them itself.
+        """
         engine = self.engine
+        pre = self._name_prefix
         for tenant in self.tenants:
             self._gen_procs.append(engine.spawn(
-                self._generate(tenant), f"serve-gen.{tenant.name}"))
+                self._generate(tenant), f"{pre}serve-gen.{tenant.name}"))
         self._dispatch_proc = engine.spawn(self._dispatch(),
-                                           "serve-dispatch")
-        collectors = [engine.spawn(self._collect(i), f"serve-collect.{i}")
-                      for i in range(self.config.num_gpus)]
-        engine.run(raise_on_deadlock=True)
-        for proc in [self._dispatch_proc] + collectors:
+                                           f"{pre}serve-dispatch")
+        self._collector_procs = [
+            engine.spawn(self._collect(i), f"{pre}serve-collect.{i}")
+            for i in range(self.config.num_gpus)
+        ]
+        return [self._dispatch_proc] + self._collector_procs
+
+    def finish(self):
+        """Post-run checks + report (engine already drained)."""
+        for proc in [self._dispatch_proc] + self._collector_procs:
             if not proc._done:
                 raise RuntimeError(
                     f"serving run did not complete ({proc.name} stuck)"
@@ -544,6 +589,12 @@ class TaskServer:
         from repro.serve.report import build_report
         return build_report(self)
 
+    def run(self):
+        """Run to quiescence and return the :class:`ServeReport`."""
+        self.start()
+        self.engine.run(raise_on_deadlock=True)
+        return self.finish()
+
     def faults_injected(self) -> int:
         """Faults fired across every session's injector."""
         return sum(s.faults.injected_count
@@ -554,6 +605,19 @@ def serve(tenants: List[TenantSpec],
           config: Optional[ServeConfig] = None,
           spec: Optional[GpuSpec] = None,
           timing: Optional[TimingModel] = None):
-    """Run one serving experiment; returns a
-    :class:`~repro.serve.report.ServeReport`."""
+    """Run one serving experiment.
+
+    Returns a :class:`~repro.serve.report.ServeReport` — or, when the
+    pagoda config carries a :class:`repro.partition.PartitionPlan`, a
+    dict of per-partition reports from the partitioned frontend.
+    """
+    if config is not None and config.pagoda.partition is not None:
+        from repro.partition.serve import serve_partitioned
+        return serve_partitioned(tenants, config, spec, timing)
+    for t in tenants:
+        if t.partition is not None:
+            raise ValueError(
+                f"tenant {t.name!r} names partition {t.partition!r} but "
+                "the pagoda config carries no PartitionPlan"
+            )
     return TaskServer(tenants, config, spec, timing).run()

@@ -361,6 +361,13 @@ class ProcessorSharing:
             return 0.0
         return self._busy_integral / (self.rate * total)
 
+    def served_integral(self) -> float:
+        """Total work units actually served so far — the utilization
+        numerator, exposed so callers can normalise over their own
+        horizon (a report's makespan) instead of ``engine.now``."""
+        self._advance()
+        return self._busy_integral
+
 
 class Store:
     """Unbounded FIFO item queue with blocking consumers.

@@ -92,6 +92,17 @@ class TimeWeighted:
             return self._value
         return (self._integral + self._value * (end - self._last)) / span
 
+    def integral(self, end: float) -> float:
+        """Accumulated value·time integral up to ``end``.
+
+        Differences of this between two observation points give the
+        integral over a window, which is what epoch-based controllers
+        (elastic repartitioning) use to compute window utilization.
+        """
+        if end <= self._last:
+            return self._integral
+        return self._integral + self._value * (end - self._last)
+
 
 def geometric_mean(values: List[float]) -> float:
     """Geometric mean; the paper's summary statistic for speedups."""

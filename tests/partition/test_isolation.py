@@ -1,0 +1,83 @@
+"""Partition fault-domain isolation.
+
+The contract SR-IOV-style partitioning makes: a fault plan scoped to
+one partition may wreck that partition's schedule, but every sibling
+partition's canonical report stays byte-identical — both to the same
+run without the fault and to the sibling running entirely alone.
+Checked on both engine lanes.
+"""
+
+import pytest
+
+from repro.core.runtime import PagodaConfig
+from repro.faults import FaultPlan, FaultSpec
+from repro.gpu.phases import Phase
+from repro.partition import PartitionPlan, run_partitioned
+from repro.tasks import TaskSpec
+
+LANES = ["default", "fast"]
+
+
+def _kernel(task, block_id, warp_id):
+    yield Phase(inst=20_000.0)
+    yield Phase(inst=20_000.0, mem_bytes=512.0)
+
+
+def _tasks(prefix, n):
+    return [TaskSpec(f"{prefix}{i}", threads_per_block=128, num_blocks=1,
+                     kernel=_kernel) for i in range(n)]
+
+
+def _plan(fault_plan=None):
+    plan = PartitionPlan.from_mode("DPX", names=["noisy", "quiet"])
+    plan.by_name("noisy").fault_plan = fault_plan
+    return plan
+
+
+def _brownout_plan():
+    # mid-run brown-outs of two of the noisy partition's own MTBs
+    return FaultPlan(specs=[
+        FaultSpec(kind="gpu.brownout", at_ns=30_000.0, target=0),
+        FaultSpec(kind="gpu.brownout", at_ns=45_000.0, target=5),
+    ])
+
+
+def _run(lane, fault_plan=None, include_noisy=True):
+    groups = {"quiet": _tasks("q", 24)}
+    if include_noisy:
+        groups["noisy"] = _tasks("n", 24)
+    # quiet trickles in; noisy slams every column at once so the
+    # brown-outs land on occupied MTBs
+    gaps = {name: (500.0 if name == "noisy" else 4_000.0)
+            for name in groups}
+    return run_partitioned(groups, _plan(fault_plan),
+                           config=PagodaConfig(lane=lane), gaps=gaps)
+
+
+@pytest.mark.parametrize("lane", LANES)
+def test_brownout_leaves_sibling_report_bytes_unchanged(lane):
+    clean = _run(lane)
+    faulted = _run(lane, fault_plan=_brownout_plan())
+    # the fault domain held: the sibling's canonical report is
+    # byte-for-byte the report it got without the fault
+    assert faulted["quiet"].to_json() == clean["quiet"].to_json()
+    # and the fault was real: the noisy partition's own report moved
+    assert faulted["noisy"].to_json() != clean["noisy"].to_json()
+    assert clean["quiet"].executed == 24
+
+
+@pytest.mark.parametrize("lane", LANES)
+def test_sibling_schedule_matches_solo_run(lane):
+    solo = _run(lane, include_noisy=False)
+    duo = _run(lane)
+    faulted = _run(lane, fault_plan=_brownout_plan())
+    assert duo["quiet"].to_json() == solo["quiet"].to_json()
+    assert faulted["quiet"].to_json() == solo["quiet"].to_json()
+
+
+def test_lanes_agree_on_partition_reports():
+    by_lane = {lane: _run(lane, fault_plan=_brownout_plan())
+               for lane in LANES}
+    for name in ("noisy", "quiet"):
+        assert (by_lane["default"][name].to_json()
+                == by_lane["fast"][name].to_json())

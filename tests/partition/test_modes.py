@@ -1,0 +1,68 @@
+"""Partition mode masks and plan validation."""
+
+import pytest
+
+from repro.partition import MODES, PartitionPlan, mode_masks, validate_masks
+
+
+def test_spx_is_one_partition_of_everything():
+    masks = mode_masks("SPX", 24)
+    assert masks == [list(range(24))]
+
+
+def test_dpx_splits_evenly():
+    masks = mode_masks("DPX", 24)
+    assert len(masks) == 2
+    assert [len(m) for m in masks] == [12, 12]
+    assert sorted(masks[0] + masks[1]) == list(range(24))
+
+
+def test_qpx_splits_evenly():
+    masks = mode_masks("QPX", 24)
+    assert len(masks) == 4
+    assert all(len(m) == 6 for m in masks)
+    assert sorted(sum(masks, [])) == list(range(24))
+
+
+def test_modes_registry_names():
+    assert {"SPX", "DPX", "QPX"} <= set(MODES)
+
+
+def test_mode_masks_rejects_undivisible():
+    with pytest.raises(ValueError):
+        mode_masks("QPX", 10)
+
+
+def test_validate_masks_rejects_overlap():
+    with pytest.raises(ValueError):
+        validate_masks([[0, 1], [1, 2]], 24)
+
+
+def test_validate_masks_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        validate_masks([[0, 99]], 24)
+
+
+def test_validate_masks_rejects_empty_partition():
+    with pytest.raises(ValueError):
+        validate_masks([[0, 1], []], 24)
+
+
+def test_from_mode_names_and_oversubscribe():
+    plan = PartitionPlan.from_mode("DPX", oversubscribe=1.5,
+                                   names=["a", "b"])
+    assert plan.mode == "DPX"
+    assert [p.name for p in plan.partitions] == ["a", "b"]
+    assert all(p.oversubscribe == 1.5 for p in plan.partitions)
+    plan.validate(24)
+
+
+def test_from_mode_wrong_name_count():
+    with pytest.raises(ValueError):
+        PartitionPlan.from_mode("QPX", names=["only", "two"])
+
+
+def test_plan_rejects_duplicate_names():
+    plan = PartitionPlan.from_mode("DPX", names=["x", "x"])
+    with pytest.raises(ValueError):
+        plan.validate(24)

@@ -1,0 +1,142 @@
+"""Zorua-style quota ledger invariants.
+
+The property the whole subsystem rests on: however quotas
+oversubscribe, borrow, settle, and follow SMMs between partitions,
+admitted usage can never exceed the physical register/shared-memory
+budget — grants are capped by backing, and backings always sum to the
+device's physical total.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import QuotaLedger
+from repro.partition.quota import RESOURCES
+
+NAMES = ["a", "b", "c"]
+BASE = {"a": 4096, "b": 2048, "c": 1024}
+CHUNK = 256  # transfer granularity (one "SMM" worth)
+
+
+def _ledger(oversubscribe=2.0):
+    ledger = QuotaLedger()
+    for name in NAMES:
+        ledger.register(
+            name,
+            smem_base=BASE[name],
+            regs_base=BASE[name] * 8,
+            smem_quota=int(BASE[name] * oversubscribe),
+            regs_quota=int(BASE[name] * 8 * oversubscribe),
+        )
+    return ledger
+
+
+def _assert_physical_budget(ledger):
+    ledger.check_physical()
+    for res in RESOURCES:
+        total = ledger.physical_total(res)
+        used = sum(ledger.account(n, res).used for n in NAMES)
+        granted = sum(ledger.account(n, res).grant for n in NAMES)
+        assert used <= granted <= total
+
+
+op = st.one_of(
+    st.tuples(st.just("acquire"), st.sampled_from(NAMES),
+              st.integers(0, 1024), st.integers(0, 8192)),
+    st.tuples(st.just("release"), st.sampled_from(NAMES), st.just(0),
+              st.just(0)),
+    st.tuples(st.just("borrow"), st.sampled_from(NAMES),
+              st.integers(1, 4096), st.just(0)),
+    st.tuples(st.just("settle"), st.sampled_from(NAMES), st.just(0),
+              st.just(0)),
+    st.tuples(st.just("transfer"), st.sampled_from(NAMES), st.just(0),
+              st.just(0)),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=st.lists(op, max_size=60), oversub=st.sampled_from([1.0, 1.5, 3.0]))
+def test_oversubscription_never_exceeds_physical_budget(ops, oversub):
+    ledger = _ledger(oversub)
+    held = {n: [] for n in NAMES}
+    for kind, name, x, y in ops:
+        if kind == "acquire":
+            if ledger.try_acquire(name, x, y):
+                held[name].append((x, y))
+        elif kind == "release" and held[name]:
+            smem, regs = held[name].pop()
+            ledger.release(name, smem, regs)
+        elif kind == "borrow":
+            for res in RESOURCES:
+                ledger.borrow(name, res, x)
+        elif kind == "settle":
+            for res in RESOURCES:
+                ledger.settle(name, res)
+        elif kind == "transfer":
+            recipient = NAMES[(NAMES.index(name) + 1) % len(NAMES)]
+            for res, chunk in (("smem", CHUNK), ("regs", CHUNK * 8)):
+                if ledger.account(name, res).base >= chunk:
+                    ledger.transfer_base(name, recipient, res, chunk)
+        _assert_physical_budget(ledger)
+
+
+def test_grant_is_quota_capped_by_backing():
+    ledger = _ledger(oversubscribe=2.0)
+    acct = ledger.account("a", "smem")
+    # quota promises 2x, but only the physical base stands behind it
+    assert acct.quota == 2 * BASE["a"]
+    assert acct.grant == BASE["a"]
+
+
+def test_borrow_grows_grant_and_settle_returns_it():
+    ledger = _ledger(oversubscribe=2.0)
+    before = ledger.account("a", "smem").grant
+    moved = ledger.borrow("a", "smem", 10_000)
+    assert moved > 0
+    assert ledger.account("a", "smem").grant == before + moved
+    ledger.check_physical()
+    ledger.settle("a", "smem")
+    assert ledger.account("a", "smem").grant == before
+    assert ledger.account("b", "smem").lent == 0
+    assert ledger.account("c", "smem").lent == 0
+    ledger.check_physical()
+
+
+def test_borrow_respects_lender_reserve_floor():
+    ledger = _ledger(oversubscribe=4.0)
+    ledger.borrow("a", "smem", 10 ** 9)
+    floor_b = int(BASE["b"] * QuotaLedger.RESERVE_FRAC)
+    floor_c = int(BASE["c"] * QuotaLedger.RESERVE_FRAC)
+    assert ledger.account("b", "smem").backing >= floor_b
+    assert ledger.account("c", "smem").backing >= floor_c
+    ledger.check_physical()
+
+
+def test_borrow_never_lends_held_usage():
+    ledger = _ledger(oversubscribe=4.0)
+    assert ledger.try_acquire("b", BASE["b"], BASE["b"] * 8)
+    ledger.borrow("a", "smem", 10 ** 9)
+    # b's whole backing covers its own usage; nothing was lendable
+    assert ledger.account("b", "smem").backing >= BASE["b"]
+    ledger.check_physical()
+
+
+def test_transfer_base_cancels_outstanding_borrow():
+    ledger = _ledger(oversubscribe=2.0)
+    moved = ledger.borrow("a", "smem", 512)
+    assert moved == 512
+    assert ledger.account("b", "smem").lent == 512
+    # the SMM backing the borrowed headroom now changes hands
+    ledger.transfer_base("b", "a", "smem", 1024)
+    assert ledger.account("a", "smem").borrowed == 0
+    assert ledger.account("b", "smem").lent == 0
+    # b keeps a non-negative backing; conservation still holds
+    assert ledger.account("b", "smem").backing >= 0
+    ledger.check_physical()
+
+
+def test_release_more_than_held_raises():
+    ledger = _ledger()
+    with pytest.raises(RuntimeError):
+        ledger.release("a", 1, 0)
