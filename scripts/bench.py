@@ -15,12 +15,15 @@ fabric (``fleet_degraded_throughput``, deterministic virtual-time
 goodput under the reliability lane), the partitioned noisy-neighbor
 scenario (``partition_p99_ratio`` / ``partition_elastic_recovery``,
 deterministic virtual-time shape metrics of the SR-IOV-style compute
-partitioning), plus a small Fig. 5 slice on each lane, and writes
-``BENCH_simcore.json`` at the repo root so every PR leaves a perf
-data point behind.  Guards that stand down on this host (for example
-the cluster speedup floor on small machines) are listed under
-``skipped`` in the record, so a ``--json`` consumer can tell "passed"
-from "not run".
+partitioning), the full incident-scenario catalog (``scenarios`` in
+the record: per-scenario pass/fail from ``repro.scenarios`` — every
+catalog scenario must pass, an absolute deterministic guard), plus a
+small Fig. 5 slice on each lane, and writes ``BENCH_simcore.json`` at
+the repo root so every PR leaves a perf data point behind.  Guards
+that stand down on this host (for example the cluster speedup floor
+on small machines) are listed under ``skipped`` in the record *and*
+printed on exit, so silent skips are visible in CI logs as well as to
+``--json`` consumers.
 
 If a committed ``BENCH_simcore.json`` already exists, the fresh
 throughputs are compared against it first: any metric that regresses
@@ -373,6 +376,27 @@ def bench_partition():
     }
 
 
+def bench_scenarios():
+    """The incident-scenario catalog, every scenario at its default
+    seed.  Verdicts are virtual-time and deterministic; the guard is
+    absolute (all must pass) and the per-scenario lines ride in the
+    record so ``--json`` consumers see which scenario broke."""
+    from repro.bench import scenarios as bench_scenarios_mod
+
+    start = time.perf_counter()
+    results = bench_scenarios_mod.run()
+    wall = time.perf_counter() - start
+    return {
+        "passed": results["passed"],
+        "total": results["total"],
+        "all_passed": results["all_passed"],
+        "lines": [row["line"] for row in results["scenarios"]],
+        "failures": [f for row in results["scenarios"]
+                     for f in row["failures"]],
+        "wall_s": round(wall, 4),
+    }
+
+
 def bench_fig5_slice(repeats: int = 1, lane: str = "default"):
     """Small Fig. 5 slice: full multi-runtime sweep wall time."""
     _, wall = _best_of(
@@ -394,6 +418,7 @@ def measure() -> dict:
     cluster_measured = bench_cluster()
     cluster_degraded = bench_cluster_degraded()
     partition_measured = bench_partition()
+    scenarios_measured = bench_scenarios()
     fig5_wall = bench_fig5_slice()
     fig5_fast_wall = bench_fig5_slice(lane="fast")
     metrics = {
@@ -431,11 +456,14 @@ def measure() -> dict:
             "cluster_sharded": cluster_measured["par_wall_s"],
             "cluster_degraded": cluster_degraded["degraded_wall_s"],
             "partition_isolation": partition_measured["partition_wall_s"],
+            "scenario_catalog": scenarios_measured["wall_s"],
             f"fig5_slice_{FIG5_SLICE_TASKS}_tasks": round(fig5_wall, 2),
             f"fig5_slice_fast_{FIG5_SLICE_TASKS}_tasks":
                 round(fig5_fast_wall, 2),
         },
         "stats_snapshot": stats_snapshot,
+        "scenarios": {k: v for k, v in scenarios_measured.items()
+                      if k != "wall_s"},
         "cluster_workers": cluster_measured["workers"],
         # metrics introduced after the seed commit have no seed number
         # to compare against and are simply absent here
@@ -527,6 +555,10 @@ def main(argv=None) -> int:
     record["skipped"] = []
 
     def finish(rc: int) -> int:
+        # skipped guards are printed, not just recorded: a silent
+        # stand-down in CI reads as "passed" when it was "not run"
+        for item in record["skipped"]:
+            say(f"skipped check: {item['check']} ({item['reason']})")
         if args.json:
             print(json.dumps(record, indent=2))
         return rc
@@ -596,6 +628,20 @@ def main(argv=None) -> int:
         say(f"\nWARNING: partition_elastic_recovery {recovery:.3f} is "
             f"below the {PARTITION_RECOVERY_FLOOR} floor: the elastic "
             "rebalancer no longer wins back half the utilization gap")
+        if not args.no_fail:
+            return finish(1)
+
+    # the scenario catalog is an absolute deterministic guard: every
+    # incident scenario must pass its detectors on every run
+    scen = record.get("scenarios") or {}
+    say(f"\nscenario catalog: {scen.get('passed', 0)}/"
+        f"{scen.get('total', 0)} passed")
+    for line in scen.get("lines", []):
+        say(f"  {line}")
+    if scen and not scen.get("all_passed"):
+        say("\nWARNING: incident-scenario catalog failed:")
+        for failure in scen.get("failures", []):
+            say(f"  FAIL {failure['detector']}: {failure['detail']}")
         if not args.no_fail:
             return finish(1)
 

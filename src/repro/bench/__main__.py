@@ -44,7 +44,17 @@ def main(argv=None) -> int:
         help="fan independent experiments across N worker processes "
              "(default: serial)",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="scenarios only: exit non-zero if any catalog scenario "
+             "fails its detectors",
+    )
     args = parser.parse_args(argv)
+    if args.check:
+        if args.experiment != "scenarios":
+            parser.error("--check is only valid with 'scenarios'")
+        from repro.bench.scenarios import run_check
+        return run_check()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]

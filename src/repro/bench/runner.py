@@ -21,6 +21,7 @@ from repro.bench import (
     obs_profile,
     partition,
     priorities,
+    scenarios,
     fig6,
     fig7,
     fig8,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "lanes": lanes,
     "cluster": cluster,
     "partition_isolation": partition,
+    "scenarios": scenarios,
 }
 
 #: experiments whose run() takes a num_tasks argument

@@ -14,6 +14,10 @@ seeded, replayable :class:`~repro.faults.plan.FaultPlan` schedules.
 Attach a plan via ``PagodaConfig(fault_plan=...)``; the chaos harness
 in ``tests/chaos/`` sweeps seeds and asserts the
 :mod:`repro.core.validation` conservation laws after every run.
+:mod:`repro.scenarios` packages plans into named incident scenarios
+(workload + plan + detectors) runnable by name, and its trace loader
+reuses :func:`~repro.faults.plan.hash01` for draw-order-independent
+arrival staggering.
 """
 
 from repro.faults.injector import (

@@ -17,6 +17,9 @@ Wiring: pass an :class:`Obs` as ``PagodaConfig(obs=...)`` (or set it
 on a :class:`~repro.serve.ServeConfig`'s ``pagoda`` config) and every
 layer of the stack hooks itself up; read the results back with
 :meth:`Obs.snapshot` (validated against :data:`SNAPSHOT_SCHEMA`).
+Snapshots are also the substrate :mod:`repro.scenarios` detectors
+assert on (``ObsValue`` / ``ObsCounterMatchesReport``), so scenario
+verdicts can check the dashboard against the billing.
 """
 
 from repro.obs.perfetto import (

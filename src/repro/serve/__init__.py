@@ -43,6 +43,7 @@ from repro.serve.arrivals import (
     BurstyArrivals,
     DeterministicArrivals,
     PoissonArrivals,
+    TraceArrivals,
 )
 from repro.serve.batcher import BatchPolicy, fuse_key, fuse_specs
 from repro.serve.histogram import LatencyHistogram
@@ -75,6 +76,7 @@ __all__ = [
     "DeterministicArrivals",
     "PoissonArrivals",
     "BurstyArrivals",
+    "TraceArrivals",
     "AdmissionPolicy",
     "AlwaysAdmit",
     "DropTail",

@@ -1,0 +1,88 @@
+"""The built-in catalog: coverage, determinism, and the pass contract.
+
+The acceptance criteria of the scenarios subsystem, as tests:
+
+- at least six catalog scenarios spanning all four stack layers;
+- every catalog scenario passes its detectors at the default seed;
+- the result JSON is byte-identical across engine lanes and cluster
+  worker counts (execution strategy never leaks into verdicts).
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import LAYERS, get, names, run_scenario
+from repro.scenarios.registry import register
+from repro.scenarios.spec import Scenario
+from repro.scenarios.detectors import Conservation
+
+#: one cheap scenario per execution-identity axis (the bench cell and
+#: the full catalog cover the rest).
+LANE_PROBE = "serve.trace_replay"
+CLUSTER_PROBE = "cluster.partition_heal"
+
+
+def test_catalog_spans_every_layer():
+    catalog = [get(n) for n in names()]
+    assert len(catalog) >= 6
+    assert {s.layer for s in catalog} == set(LAYERS)
+    for s in catalog:
+        assert s.version >= 1
+        assert s.detectors
+        assert s.description
+
+
+def test_register_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="already registered"):
+        register(Scenario(
+            name=names()[0], version=1, layer="serve",
+            description="dup", runner=lambda p: None,
+            detectors=(Conservation(),),
+        ))
+
+
+def test_unknown_scenario_is_a_helpful_error():
+    with pytest.raises(KeyError, match="no scenario"):
+        get("nope.nothing")
+
+
+@pytest.mark.parametrize("name", names())
+def test_catalog_passes_at_default_seed(name):
+    result = run_scenario(name)
+    failures = [v.to_dict() for v in result.verdicts if not v.passed]
+    assert result.passed, failures
+    # the digest round-trips canonically
+    digest = json.loads(result.to_json())
+    assert digest["scenario"] == name
+    assert json.dumps(digest, sort_keys=True,
+                      separators=(",", ":")) == result.to_json()
+
+
+def test_result_bytes_identical_across_lanes():
+    fast = run_scenario(LANE_PROBE, lane="fast").to_json()
+    default = run_scenario(LANE_PROBE, lane="default").to_json()
+    assert fast == default
+
+
+def test_result_bytes_identical_across_worker_counts():
+    seq = run_scenario(CLUSTER_PROBE, workers=0).to_json()
+    par = run_scenario(CLUSTER_PROBE, workers=2).to_json()
+    assert seq == par
+
+
+def test_repeated_runs_are_byte_identical():
+    a = run_scenario(LANE_PROBE)
+    b = run_scenario(LANE_PROBE)
+    assert a.to_json() == b.to_json()
+
+
+def test_bench_cell_reports_every_scenario():
+    from repro.bench import scenarios as bench_scenarios
+
+    results = bench_scenarios.run()
+    assert results["total"] == len(names())
+    assert results["all_passed"]
+    text = bench_scenarios.report(results)
+    for name in names():
+        assert name in text
